@@ -1,0 +1,59 @@
+"""Result-table collection for the experiment harness.
+
+pytest captures stdout, so experiment tables reported with ``print`` would
+be lost in ``--benchmark-only`` runs.  Experiments instead call
+:func:`report_table`; the conftest's ``pytest_terminal_summary`` hook prints
+everything after the run (that channel is never captured), and every table
+is also written to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: experiment id -> rendered table text, in report order
+TABLES: "Dict[str, str]" = {}
+
+
+def _render(title: str, headers: Sequence[str],
+            rows: Sequence[Sequence[object]], note: str = "") -> str:
+    columns = [headers] + [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(str(row[i])) for row in columns)
+              for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in columns[1:]:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def report_table(experiment: str, title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]], note: str = "") -> str:
+    """Record one experiment table; returns the rendered text."""
+    text = _render(title, headers, rows, note)
+    TABLES[experiment] = text
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

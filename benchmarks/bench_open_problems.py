@@ -1,0 +1,259 @@
+"""Experiment E9 — the paper's open problems, measured (Section VI).
+
+The survey closes with problems it declares open.  For each we run the
+attack (and the best cited mitigation) and record how bad the gap is —
+turning the paper's qualitative warnings into numbers:
+
+* implicit information leakage: attribute inference accuracy vs. how many
+  users hide the attribute;
+* data resharing: leak size vs. resharing probability; watermark tracing;
+* privacy-preserving advertising: targeting parity at zero profile
+  exposure (Adnostic/Privad architecture vs. tracking baseline);
+* sybil attacks: trust capture vs. attack edges; random-walk detection;
+* de-anonymization: re-identification rate vs. seeds, naive vs. k-degree.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from _reporting import report_table
+from repro.extensions import (AdBroker, AdClient, Advertisement,
+                              ResharingSimulation, SybilAttack,
+                              TrackingAdServer, attribute_inference_accuracy,
+                              deanonymize_by_seeds, degree_anonymize,
+                              degree_cut_detection, inject_sybils,
+                              naive_anonymize)
+from repro.extensions.anonymization import reidentification_rate
+from repro.extensions.inference import plant_homophilous_attribute
+from repro.workloads import attach_trust, social_graph
+
+
+def test_implicit_information_leakage(benchmark):
+    """E9a: hiding your attribute does not hide your attribute."""
+    graph = social_graph(400, kind="ba", seed=101)
+
+    def sweep():
+        rows = []
+        for homophily, label in ((0.9, "homophilous"), (0.0, "independent")):
+            labels = plant_homophilous_attribute(
+                graph, ("red", "blue"), homophily=homophily, seed=102)
+            for hide in (0.2, 0.5, 0.8):
+                accuracy, coverage = attribute_inference_accuracy(
+                    graph, labels, hide_fraction=hide, seed=103)
+                rows.append((label, hide, accuracy, coverage))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    homophilous = [a for lbl, h, a, c in rows if lbl == "homophilous"]
+    independent = [a for lbl, h, a, c in rows if lbl == "independent"]
+    assert min(homophilous) > 0.65       # the leak persists at 80% hiding
+    assert max(independent) < 0.68       # control: no structure, no leak
+    report_table(
+        "E9a_inference", "E9a — implicit leakage: attribute inference",
+        ["Attribute", "Hide fraction", "Inference accuracy", "Coverage"],
+        rows,
+        note=("With homophilous attributes, friends' disclosures betray "
+              "hiders at every hide rate — 'privacy is a collective "
+              "phenomenon'.  Independent attributes (control) stay near "
+              "the 0.5 coin-flip floor."))
+
+
+def test_data_resharing(benchmark):
+    """E9b: any resharing probability defeats access control; watermarks
+    only trace, never prevent."""
+    graph = social_graph(150, kind="ws", seed=104)
+
+    def sweep():
+        rows = []
+        for probability in (0.0, 0.1, 0.3, 0.6):
+            fractions = []
+            traceable = True
+            for seed in range(105, 110):  # average out spread randomness
+                sim = ResharingSimulation(graph, probability, seed=seed)
+                if probability:
+                    result = sim.run_with_watermarks(
+                        "user0", ["user1", "user2", "user3"], b"secret",
+                        b"k" * 32)
+                    traceable &= bool(result["traceable"])
+                else:
+                    result = sim.run("user0",
+                                     ["user1", "user2", "user3"])
+                fractions.append(result["unintended_fraction"])
+            rows.append((probability, statistics.mean(fractions),
+                         "yes" if traceable else "no"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    fractions = [f for _, f, _ in rows]
+    assert fractions[0] == 0.0
+    assert fractions[1] > 0.0 and fractions == sorted(fractions)
+    assert all(t == "yes" for _, _, t in rows)
+    report_table(
+        "E9b_resharing", "E9b — resharing leak vs reshare probability",
+        ["Reshare prob.", "Unintended-reach fraction", "Leak traceable"],
+        rows,
+        note=("Zero resharing is the only safe point; watermarking makes "
+              "every leak attributable but prevents none — the open "
+              "problem, quantified."))
+
+
+def test_privacy_preserving_advertising(benchmark):
+    """E9c: Adnostic/Privad parity — same targeting, zero profile upload."""
+
+    def run():
+        rng = random.Random(106)
+        topics = ["cars", "privacy", "cats", "sports", "travel", "music"]
+        broker = AdBroker()
+        tracker = TrackingAdServer()
+        for index, topic in enumerate(topics):
+            ad = Advertisement(f"ad-{topic}", (topic,), 1.0 + index / 10)
+            broker.publish(ad)
+            tracker.publish(ad)
+        agreement = 0
+        clicks_ok = 0
+        users = 40
+        for i in range(users):
+            interests = rng.sample(topics, 2)
+            client = AdClient(f"u{i}", interests, rng)
+            tracker.upload_profile(f"u{i}", interests)
+            local = {ad.ad_id for ad in
+                     client.select_ads(broker.broadcast(), 2)}
+            remote = {ad.ad_id for ad in tracker.select_ads(f"u{i}", 2)}
+            agreement += local == remote
+            chosen = client.select_ads(broker.broadcast(), 1)
+            if chosen and client.report_click(broker, chosen[0]):
+                clicks_ok += 1
+            if chosen:
+                tracker.report_click(f"u{i}", chosen[0])
+        return (agreement / users, clicks_ok,
+                broker.broker_knowledge(), tracker.server_knowledge())
+
+    parity, clicks, broker_view, tracker_view = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    assert parity == 1.0                       # identical targeting
+    assert clicks == 40                        # billing works
+    assert broker_view["profiles_seen"] == 0
+    assert not broker_view["linkable_to_users"]
+    assert tracker_view["profiles_seen"] == 40
+    report_table(
+        "E9c_ads", "E9c — privacy-preserving vs tracking advertising",
+        ["System", "Targeting parity", "Billable clicks",
+         "Profiles seen", "Clicks linkable"],
+        [("Adnostic/Privad-style broker", parity, clicks, 0, "no"),
+         ("tracking baseline", 1.0, 40, 40, "yes")],
+        note=("Local ad selection + blind click tokens achieve the same "
+              "targeting with zero profile exposure — the architecture "
+              "exists; the paper's open problem is the business model."))
+
+
+def test_sybil_attack_and_defense(benchmark):
+    """E9d: trust capture scales with attack edges; random walks detect."""
+    honest = attach_trust(social_graph(300, kind="ba", seed=107), seed=108)
+
+    def sweep():
+        rows = []
+        for attack_edges in (1, 5, 20, 60):
+            graph, sybils = inject_sybils(honest, count=30,
+                                          attack_edges=attack_edges,
+                                          seed=109)
+            attack = SybilAttack(graph, sybils)
+            trust = attack.best_sybil_trust("user0")
+            detection = degree_cut_detection(graph, sybils, seed=110)
+            rows.append((attack_edges, trust,
+                         detection["sybil_region_mass"],
+                         detection["sybil_count_fraction"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    trusts = [t for _, t, _, _ in rows]
+    assert trusts == sorted(trusts)  # more attack edges, more capture
+    for edges, trust, walk_mass, population in rows[:2]:
+        assert walk_mass < population  # walks under-visit the sybil region
+    report_table(
+        "E9d_sybil", "E9d — sybil trust capture vs attack edges (30 sybils)",
+        ["Attack edges", "Best sybil trust", "Random-walk mass in region",
+         "Region population share"],
+        rows,
+        note=("Trust-chain ranking bounds sybil influence by the attack-"
+              "edge cut; random-walk mass below population share is the "
+              "SybilGuard detection signal."))
+
+
+def test_api_protection(benchmark):
+    """E9f: protection of data from applications (Persona vs legacy).
+
+    The concerns list: "after the user employs an application, he
+    implicitly gives the application all the accesses to the personal
+    content it wants" — Persona's attribute-scoped app keys are the cited
+    fix; this measures the exposure difference for identical app installs.
+    """
+    from repro.acl.persona import Application, LegacyPlatform, PersonaUser
+
+    def run():
+        rng = random.Random(113)
+        rows = []
+        for requested_scope, label in ((["apps-calendar"], "calendar app"),
+                                       (["apps-game"], "game app")):
+            user = PersonaUser("alice", rng=rng)
+            user.store("wall", b"posts", "friends")
+            user.store("photos", b"album", "friends or family")
+            user.store("diary", b"secrets", "family")
+            user.store("calendar", b"meetings", "apps-calendar")
+            legacy = LegacyPlatform()
+            for name in user.data_names():
+                legacy.store("alice", name, b"plaintext")
+            legacy.install_app("alice", label)
+            legacy_seen = len(legacy.app_view(label, "alice"))
+            app = Application(label)
+            app.install(user, requested_scope)
+            persona_seen = len(app.visible_data(user))
+            rows.append((label, legacy_seen, persona_seen))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, legacy_seen, persona_seen in rows:
+        assert legacy_seen == 4            # everything, always
+        assert persona_seen <= 1           # only the granted scope
+    report_table(
+        "E9f_api", "E9f — application data exposure: legacy vs Persona",
+        ["App", "Legacy platform items visible", "Persona items visible"],
+        rows,
+        note=("Install-means-everything vs attribute-scoped app keys: the "
+              "'Protection of data from API' concern, measured."))
+
+
+def test_deanonymization(benchmark):
+    """E9e: seed attack vs naive and k-degree anonymization."""
+    graph = social_graph(200, kind="ba", seed=111)
+
+    def sweep():
+        rows = []
+        for seeds_count in (4, 8, 16):
+            anon, truth = naive_anonymize(graph, seed=112)
+            seeds = {r: truth[r] for r in list(truth)[:seeds_count]}
+            predicted = deanonymize_by_seeds(graph, anon, seeds)
+            naive_rate = reidentification_rate(truth, predicted, seeds)
+            anon_k, truth_k, added = degree_anonymize(graph, k=6, seed=112)
+            seeds_k = {r: truth_k[r] for r in list(truth_k)[:seeds_count]}
+            k_rate = reidentification_rate(
+                truth_k, deanonymize_by_seeds(graph, anon_k, seeds_k),
+                seeds_k)
+            rows.append((seeds_count, naive_rate, k_rate, added))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert rows[-1][1] > 0.5   # 16 seeds unmask most of the graph
+    report_table(
+        "E9e_deanon",
+        "E9e — seed-based re-identification rate",
+        ["Known seeds", "Naive anonymization", "k=6 degree anonymity",
+         "Edges added by defence"],
+        rows,
+        note=("A handful of known nodes re-identifies most of a 'naively "
+              "anonymized' graph; k-degree anonymity pays utility (added "
+              "edges) yet barely slows the structural attack — why the "
+              "paper lists de-anonymization as unresolved."))

@@ -1,0 +1,21 @@
+"""Benchmark-session configuration: print experiment tables at the end."""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _reporting import TABLES  # noqa: E402
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Emit every experiment table after the benchmark summary."""
+    if not TABLES:
+        return
+    terminalreporter.write_sep("=", "experiment result tables")
+    for experiment in sorted(TABLES):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(TABLES[experiment])
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "tables also written to benchmarks/results/*.txt")

@@ -1,0 +1,59 @@
+"""Generate supersingular-curve pairing parameters.
+
+Curve: y^2 = x^3 + x over F_p with p = 3 (mod 4); supersingular,
+#E(F_p) = p + 1, embedding degree 2.  We need a prime subgroup order q
+with q | p + 1.  Search: pick random prime q of qbits, then find
+cofactor h (h = 0 mod 4 so p = q*h - 1 = 3 mod 4) with p prime.
+"""
+import random
+import sys
+
+def is_probable_prime(n, k=40):
+    if n < 2:
+        return False
+    for sp in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % sp == 0:
+            return n == sp
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(k):
+        a = random.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+def gen_prime(bits):
+    while True:
+        c = random.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(c):
+            return c
+
+def gen_params(qbits, pbits, seed):
+    random.seed(seed)
+    q = gen_prime(qbits)
+    hbits = pbits - qbits
+    while True:
+        h = random.getrandbits(hbits) | (1 << (hbits - 1))
+        h -= h % 4  # h = 0 mod 4 => p = 3 mod 4
+        if h <= 0:
+            continue
+        p = q * h - 1
+        if p % 4 == 3 and is_probable_prime(p):
+            return p, q, h
+
+for name, qbits, pbits, seed in [("TOY", 64, 160, 1), ("TEST", 128, 256, 2), ("STD", 160, 512, 3)]:
+    p, q, h = gen_params(qbits, pbits, seed)
+    assert (p + 1) % q == 0
+    print(f"{name}_P = {p}")
+    print(f"{name}_Q = {q}")
+    print(f"{name}_H = {h}")

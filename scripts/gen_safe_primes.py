@@ -1,0 +1,30 @@
+"""Regenerate the safe primes in repro.crypto.params.
+
+A safe prime ``p = 2q + 1`` (q prime) gives the prime-order subgroups the
+discrete-log schemes build on.  The search is slow (minutes for 1024 bits),
+which is why the results are checked into ``params.py`` and merely
+re-validated by the test suite.
+
+Usage:  python scripts/gen_safe_primes.py
+"""
+
+import random
+
+from repro.crypto.numbertheory import is_probable_prime
+
+
+def find_safe_prime(bits: int, rng: random.Random) -> int:
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if is_probable_prime(q) and is_probable_prime(2 * q + 1):
+            return 2 * q + 1
+
+
+def main() -> None:
+    rng = random.Random(42)  # the seed that produced the checked-in values
+    for bits in (256, 512, 1024):
+        print(f"    {bits}: {find_safe_prime(bits, rng)},")
+
+
+if __name__ == "__main__":
+    main()

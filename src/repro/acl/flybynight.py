@@ -1,0 +1,119 @@
+"""flyByNight: encrypted content on an untrusted provider via proxy crypto.
+
+Section II-A of the paper: flyByNight (Lucas & Borisov) keeps the existing
+centralized OSN but stores *only ciphertexts* there; the provider doubles
+as a re-encryption proxy so the author uploads one ciphertext and the
+server re-targets it per friend — never touching plaintext or user keys.
+
+This module composes :mod:`repro.crypto.proxy_reencryption` with the
+central-provider model:
+
+* :class:`FlyByNightServer` — the untrusted provider: ciphertext store +
+  re-encryption proxy + an explicit ``provider_view`` for the exposure
+  experiments;
+* :class:`FlyByNightUser`  — key management on the client side, exactly as
+  the original deployed inside the user's browser.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import proxy_reencryption as pre
+from repro.crypto.groups import group_for_level
+from repro.exceptions import AccessDeniedError, CryptoError
+
+_DEFAULT_RNG = _random.Random(0xF1B)
+
+
+@dataclass
+class _StoredMessage:
+    author: str
+    header: pre.PRECiphertext  # encrypted under the author's own key
+    payload: bytes
+
+
+class FlyByNightServer:
+    """The honest-but-curious OSN provider acting as re-encryption proxy."""
+
+    def __init__(self) -> None:
+        #: message id -> stored ciphertext
+        self._messages: Dict[str, _StoredMessage] = {}
+        #: (author, friend) -> re-encryption key deposited by the users
+        self._rekeys: Dict[Tuple[str, str], pre.ReEncryptionKey] = {}
+
+    def deposit_rekey(self, author: str, friend: str,
+                      token: pre.ReEncryptionKey) -> None:
+        """Store the (author -> friend) re-targeting token."""
+        self._rekeys[(author, friend)] = token
+
+    def upload(self, author: str, message_id: str,
+               header: pre.PRECiphertext, payload: bytes) -> None:
+        """Accept one ciphertext upload (a single upload serves all friends)."""
+        self._messages[message_id] = _StoredMessage(
+            author=author, header=header, payload=payload)
+
+    def fetch_for(self, reader: str, message_id: str
+                  ) -> Tuple[pre.PRECiphertext, bytes]:
+        """Re-encrypt the stored header toward ``reader`` and serve it.
+
+        The server performs real cryptographic work here but learns
+        nothing: it holds only ciphertexts and exponent quotients.
+        """
+        message = self._messages.get(message_id)
+        if message is None:
+            raise AccessDeniedError(f"no message {message_id!r}")
+        if reader == message.author:
+            return message.header, message.payload
+        token = self._rekeys.get((message.author, reader))
+        if token is None:
+            raise AccessDeniedError(
+                f"no re-encryption key from {message.author!r} to "
+                f"{reader!r}; the author has not friended them")
+        return pre.reencrypt(token, message.header), message.payload
+
+    def provider_view(self) -> Dict[str, object]:
+        """Everything the provider observes: authors, sizes, friend edges."""
+        return {
+            "message_authors": {mid: m.author
+                                for mid, m in self._messages.items()},
+            "payload_sizes": {mid: len(m.payload)
+                              for mid, m in self._messages.items()},
+            "edges": sorted(self._rekeys),
+        }
+
+
+class FlyByNightUser:
+    """Client-side key management (the browser-extension role)."""
+
+    def __init__(self, name: str, level: str = "TOY",
+                 rng: Optional[_random.Random] = None) -> None:
+        self.name = name
+        self.rng = rng or _DEFAULT_RNG
+        self.group = group_for_level(level)
+        self.keypair = pre.generate_keypair(level, self.rng)
+        self._sequence = 0
+
+    def friend(self, other: "FlyByNightUser",
+               server: FlyByNightServer) -> None:
+        """Run the pairwise re-key exchange and deposit tokens (both ways)."""
+        server.deposit_rekey(self.name, other.name,
+                             pre.rekey(self.keypair, other.keypair))
+        server.deposit_rekey(other.name, self.name,
+                             pre.rekey(other.keypair, self.keypair))
+
+    def post(self, server: FlyByNightServer, text: str) -> str:
+        """Encrypt once under the author's own key; upload; return the id."""
+        header, payload = pre.encrypt_bytes(
+            self.keypair.public, self.group, text.encode(), self.rng)
+        message_id = f"{self.name}/{self._sequence}"
+        self._sequence += 1
+        server.upload(self.name, message_id, header, payload)
+        return message_id
+
+    def read(self, server: FlyByNightServer, message_id: str) -> str:
+        """Fetch (server re-encrypts toward us) and decrypt locally."""
+        header, payload = server.fetch_for(self.name, message_id)
+        return pre.decrypt_bytes(self.keypair, header, payload).decode()

@@ -1,0 +1,286 @@
+"""Persistent Authenticated Dictionary (PAD) and Frientegrity-style ACLs.
+
+Section III-F of the paper: "The hybrid structure of the access control
+lists (ACLs) in Frientegrity is organized in a persistent authenticated
+dictionary (PAD).  Thus, ACLs are PADs, making it possible to access in
+logarithmic time."
+
+Implementation: a *functional treap* whose priorities are derived from the
+key hash, which makes the shape history-independent — any insertion order of
+the same key set yields the same tree and therefore the same root hash
+(essential so two replicas agree on the authenticator).  Every update
+returns a new PAD sharing structure with the old one: that is the
+*persistent* part, giving cheap historical snapshots of the ACL (the
+"which epoch was this user a member in?" queries Frientegrity needs).
+
+Membership lookups return :class:`LookupProof` objects that a verifier can
+check against a signed root hash in O(log n) — measured by experiment E4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.crypto.hashing import digest, digest_many
+from repro.exceptions import IntegrityError
+
+_EMPTY_HASH = digest(b"repro/pad/empty")
+
+
+def _value_hash(value: bytes) -> bytes:
+    return digest(b"repro/pad/value" + value)
+
+
+def _priority(key: str) -> int:
+    return int.from_bytes(digest(b"repro/pad/prio" + key.encode())[:8], "big")
+
+
+@dataclass(frozen=True)
+class _Node:
+    key: str
+    value: bytes
+    left: Optional["_Node"]
+    right: Optional["_Node"]
+    hash: bytes
+
+
+def _hash_node(key: str, value: bytes, left: Optional[_Node],
+               right: Optional[_Node]) -> bytes:
+    return digest_many([
+        key.encode(), _value_hash(value),
+        left.hash if left else _EMPTY_HASH,
+        right.hash if right else _EMPTY_HASH,
+    ])
+
+
+def _make(key: str, value: bytes, left: Optional[_Node],
+          right: Optional[_Node]) -> _Node:
+    return _Node(key=key, value=value, left=left, right=right,
+                 hash=_hash_node(key, value, left, right))
+
+
+def _insert(node: Optional[_Node], key: str, value: bytes) -> _Node:
+    if node is None:
+        return _make(key, value, None, None)
+    if key == node.key:
+        return _make(key, value, node.left, node.right)
+    if key < node.key:
+        left = _insert(node.left, key, value)
+        new = _make(node.key, node.value, left, node.right)
+        if _priority(left.key) > _priority(new.key):
+            # Rotate right to restore the heap property.
+            return _make(left.key, left.value, left.left,
+                         _make(new.key, new.value, left.right, new.right))
+        return new
+    right = _insert(node.right, key, value)
+    new = _make(node.key, node.value, node.left, right)
+    if _priority(right.key) > _priority(new.key):
+        # Rotate left.
+        return _make(right.key, right.value,
+                     _make(new.key, new.value, new.left, right.left),
+                     right.right)
+    return new
+
+
+def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if _priority(left.key) > _priority(right.key):
+        return _make(left.key, left.value, left.left,
+                     _merge(left.right, right))
+    return _make(right.key, right.value, _merge(left, right.left),
+                 right.right)
+
+
+def _delete(node: Optional[_Node], key: str) -> Optional[_Node]:
+    if node is None:
+        raise IntegrityError(f"key {key!r} not present")
+    if key == node.key:
+        return _merge(node.left, node.right)
+    if key < node.key:
+        return _make(node.key, node.value, _delete(node.left, key),
+                     node.right)
+    return _make(node.key, node.value, node.left, _delete(node.right, key))
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One ancestor on the lookup path.
+
+    ``direction`` says which child the path continued into ('L'/'R'); the
+    other child's hash plus this node's own data recompute the parent hash.
+    """
+
+    key: str
+    value_hash: bytes
+    other_child_hash: bytes
+    direction: str
+
+
+@dataclass(frozen=True)
+class LookupProof:
+    """Authenticated (non-)membership proof for one key.
+
+    For a present key, ``found_value`` is its value and ``leaf_*`` describe
+    the node itself; for an absent key the proof shows the search path ends
+    at an empty slot.
+    """
+
+    key: str
+    found_value: Optional[bytes]
+    leaf_left_hash: bytes
+    leaf_right_hash: bytes
+    path: Tuple[ProofStep, ...]  # leaf-adjacent first, root last
+
+    def root_hash(self) -> bytes:
+        """Recompute the root authenticator this proof commits to."""
+        if self.found_value is not None:
+            acc = digest_many([
+                self.key.encode(), _value_hash(self.found_value),
+                self.leaf_left_hash, self.leaf_right_hash,
+            ])
+        else:
+            acc = _EMPTY_HASH
+        for step in self.path:
+            if step.direction == "L":
+                acc = digest_many([step.key.encode(), step.value_hash,
+                                   acc, step.other_child_hash])
+            else:
+                acc = digest_many([step.key.encode(), step.value_hash,
+                                   step.other_child_hash, acc])
+        return acc
+
+
+class PAD:
+    """An immutable authenticated dictionary; updates return new PADs."""
+
+    def __init__(self, _root: Optional[_Node] = None) -> None:
+        self._root = _root
+
+    # -- authenticated state -----------------------------------------------
+
+    @property
+    def root_hash(self) -> bytes:
+        """The authenticator a writer signs and a verifier pins."""
+        return self._root.hash if self._root else _EMPTY_HASH
+
+    def __len__(self) -> int:
+        def count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + count(node.left) + count(node.right)
+        return count(self._root)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        """In-order key iteration."""
+        def walk(node: Optional[_Node]) -> Iterator[str]:
+            if node is None:
+                return
+            yield from walk(node.left)
+            yield node.key
+            yield from walk(node.right)
+        return walk(self._root)
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, key: str, value: bytes) -> "PAD":
+        """A new PAD with ``key`` bound to ``value`` (O(log n) new nodes)."""
+        return PAD(_insert(self._root, key, value))
+
+    def delete(self, key: str) -> "PAD":
+        """A new PAD without ``key``; raises if absent."""
+        return PAD(_delete(self._root, key))
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Unauthenticated point lookup."""
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def prove(self, key: str) -> LookupProof:
+        """A (non-)membership proof checkable against :attr:`root_hash`."""
+        steps: List[ProofStep] = []
+        node = self._root
+        while node is not None and node.key != key:
+            if key < node.key:
+                other = node.right.hash if node.right else _EMPTY_HASH
+                steps.append(ProofStep(node.key, _value_hash(node.value),
+                                       other, "L"))
+                node = node.left
+            else:
+                other = node.left.hash if node.left else _EMPTY_HASH
+                steps.append(ProofStep(node.key, _value_hash(node.value),
+                                       other, "R"))
+                node = node.right
+        steps.reverse()
+        if node is None:
+            return LookupProof(key=key, found_value=None,
+                               leaf_left_hash=_EMPTY_HASH,
+                               leaf_right_hash=_EMPTY_HASH,
+                               path=tuple(steps))
+        return LookupProof(
+            key=key, found_value=node.value,
+            leaf_left_hash=node.left.hash if node.left else _EMPTY_HASH,
+            leaf_right_hash=node.right.hash if node.right else _EMPTY_HASH,
+            path=tuple(steps))
+
+
+def verify_lookup(root_hash: bytes, proof: LookupProof) -> bool:
+    """Check a lookup proof against a pinned root authenticator."""
+    return proof.root_hash() == root_hash
+
+
+class FrientegrityACL:
+    """An ACL-as-PAD with versioned (persistent) history.
+
+    Members map to role byte-strings.  Every mutation appends the new root
+    to :attr:`history`, so clients can verify a member's status *at any past
+    epoch* — the property Frientegrity's history trees cross-reference.
+    """
+
+    def __init__(self) -> None:
+        self._versions: List[PAD] = [PAD()]
+
+    @property
+    def current(self) -> PAD:
+        """The latest ACL snapshot."""
+        return self._versions[-1]
+
+    @property
+    def history(self) -> List[bytes]:
+        """Root hashes of every epoch, oldest first."""
+        return [pad.root_hash for pad in self._versions]
+
+    @property
+    def epoch(self) -> int:
+        """The current epoch number (== number of mutations)."""
+        return len(self._versions) - 1
+
+    def add_member(self, user: str, role: str = "reader") -> int:
+        """Add/update a member; returns the new epoch."""
+        self._versions.append(self.current.insert(user, role.encode()))
+        return self.epoch
+
+    def remove_member(self, user: str) -> int:
+        """Remove a member; returns the new epoch."""
+        self._versions.append(self.current.delete(user))
+        return self.epoch
+
+    def prove_membership(self, user: str,
+                         epoch: Optional[int] = None) -> LookupProof:
+        """Membership proof at an epoch (default: current)."""
+        pad = self._versions[epoch if epoch is not None else -1]
+        return pad.prove(user)
+
+    def root_at(self, epoch: int) -> bytes:
+        """The authenticator for a given epoch."""
+        return self._versions[epoch].root_hash

@@ -1,0 +1,158 @@
+"""Persona: user-defined privacy, including against *applications*.
+
+Section II-A of the paper: "Persona took the power of OSN providers in the
+case of determining the accessibility of users data for applications.
+Indeed, it gave users this autonomy to decide who can see their private
+data, even for the applications, with fine-grained policies."  And from
+the conclusion's concerns list ("Protection of data from API"): "after the
+user employs an application, he implicitly gives the application all the
+accesses to the personal content it wants" — the anti-pattern Persona
+fixes.
+
+Model (faithful to Persona's design):
+
+* every user runs their own CP-ABE authority and tags each datum with an
+  attribute policy (``"friends"``, ``"family and not-apps"`` — any
+  expression over their attribute vocabulary);
+* *applications* are principals like any other: installing an app means
+  issuing it an ABE key for an explicit attribute set, nothing more;
+* an app's :meth:`Application.visible_data` is therefore decided by the
+  user's policies, not by the platform — contrast with
+  :class:`LegacyPlatform`, which reproduces the all-access anti-pattern
+  so tests and E-benches can measure the difference.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.crypto.abe import ABECiphertext, ABESecretKey, CPABE, PolicyNode
+from repro.exceptions import AccessDeniedError, DecryptionError
+
+_DEFAULT_RNG = _random.Random(0x9E125)
+
+
+@dataclass
+class _Datum:
+    """One protected item: policy string + hybrid ABE ciphertext."""
+
+    name: str
+    policy: str
+    header: ABECiphertext
+    blob: bytes
+
+
+class PersonaUser:
+    """A user running their own attribute authority over their data."""
+
+    def __init__(self, name: str, level: str = "TOY",
+                 rng: Optional[_random.Random] = None) -> None:
+        self.name = name
+        self.rng = rng or _DEFAULT_RNG
+        self.abe = CPABE(level)
+        self.pk, self._msk = self.abe.setup(self.rng)
+        self._data: Dict[str, _Datum] = {}
+        #: principal (friend or app) -> attributes granted
+        self.grants: Dict[str, Tuple[str, ...]] = {}
+
+    # -- data -----------------------------------------------------------------
+
+    def store(self, name: str, content: bytes, policy: str) -> None:
+        """Protect a datum under an attribute policy."""
+        header, blob = self.abe.encrypt_bytes(self.pk, content, policy,
+                                              self.rng)
+        self._data[name] = _Datum(name=name, policy=policy, header=header,
+                                  blob=blob)
+
+    def data_names(self) -> List[str]:
+        """All datum names (names are not secret; contents are)."""
+        return sorted(self._data)
+
+    # -- principals (friends and applications alike) ----------------------------
+
+    def issue_key(self, principal: str,
+                  attributes: Sequence[str]) -> ABESecretKey:
+        """Grant a principal exactly ``attributes`` — the Persona move.
+
+        Whether ``principal`` is a friend or an application makes no
+        difference: its view of the user's data is whatever the issued
+        attributes satisfy, forever decided by the user.
+        """
+        self.grants[principal] = tuple(sorted(attributes))
+        return self.abe.keygen(self.pk, self._msk, list(attributes),
+                               self.rng)
+
+    def read(self, name: str, key: ABESecretKey) -> bytes:
+        """Decrypt a datum with a principal's key; policy decides."""
+        datum = self._data.get(name)
+        if datum is None:
+            raise AccessDeniedError(f"{self.name!r} has no datum {name!r}")
+        try:
+            return self.abe.decrypt_bytes(datum.header, datum.blob, key)
+        except DecryptionError:
+            raise AccessDeniedError(
+                f"key attributes {sorted(key.attributes)} do not satisfy "
+                f"policy {datum.policy!r} of {name!r}")
+
+
+@dataclass
+class Application:
+    """A third-party app holding one Persona-issued key per user."""
+
+    app_id: str
+    keys: Dict[str, ABESecretKey] = field(default_factory=dict)
+
+    def install(self, user: PersonaUser,
+                requested_attributes: Sequence[str]) -> Tuple[str, ...]:
+        """Install: the *user* decides which attributes the app gets.
+
+        Returns the attributes actually granted (the user's policy could
+        prune the request; here the grant is explicit and visible).
+        """
+        key = user.issue_key(f"app:{self.app_id}", requested_attributes)
+        self.keys[user.name] = key
+        return tuple(sorted(requested_attributes))
+
+    def visible_data(self, user: PersonaUser) -> Dict[str, bytes]:
+        """Everything this app can actually decrypt of the user's data."""
+        key = self.keys.get(user.name)
+        if key is None:
+            raise AccessDeniedError(
+                f"{self.app_id!r} is not installed for {user.name!r}")
+        visible: Dict[str, bytes] = {}
+        for name in user.data_names():
+            try:
+                visible[name] = user.read(name, key)
+            except AccessDeniedError:
+                continue
+        return visible
+
+
+class LegacyPlatform:
+    """The anti-pattern: installing an app grants everything.
+
+    "After the user employs an application, he implicitly gives the
+    application all the accesses to the personal content it wants."
+    Plaintext store + install-equals-full-access, kept as the measured
+    baseline for the API-protection concern.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[str, bytes]] = {}
+        self._installed: Dict[str, set] = {}
+
+    def store(self, user: str, name: str, content: bytes) -> None:
+        """Upload plaintext to the platform."""
+        self._data.setdefault(user, {})[name] = content
+
+    def install_app(self, user: str, app_id: str) -> None:
+        """One bit of consent, unlimited scope."""
+        self._installed.setdefault(app_id, set()).add(user)
+
+    def app_view(self, app_id: str, user: str) -> Dict[str, bytes]:
+        """What the app sees: everything, always."""
+        if user not in self._installed.get(app_id, set()):
+            raise AccessDeniedError(f"{app_id!r} not installed by {user!r}")
+        return dict(self._data.get(user, {}))

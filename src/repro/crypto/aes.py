@@ -1,0 +1,188 @@
+"""AES block cipher (FIPS 197) implemented from scratch.
+
+Supports 128/192/256-bit keys.  The S-box and its inverse are derived at
+import time from the finite-field definition rather than pasted as magic
+tables, so the implementation is auditable end-to-end; test vectors from
+FIPS 197 Appendix C pin the behaviour.
+
+This is the raw block primitive; modes of operation and authenticated
+encryption live in :mod:`repro.crypto.symmetric`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import CryptoError, InvalidKeyError
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        high = a & 0x80
+        a = (a << 1) & 0xFF
+        if high:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple:
+    """Derive the AES S-box from inversion in GF(2^8) + affine transform."""
+    # Build inverses via exponentiation tables on the generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inverse(a: int) -> int:
+        if a == 0:
+            return 0
+        return exp[255 - log[a]]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = inverse(value)
+        s = inv
+        for shift in (1, 2, 3, 4):
+            s ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = s ^ 0x63
+    inv_sbox = [0] * 256
+    for i, s in enumerate(sbox):
+        inv_sbox[s] = i
+    return tuple(sbox), tuple(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36,
+         0x6C, 0xD8, 0xAB, 0x4D)
+
+# Precomputed GF multiplication tables for MixColumns speed.
+_MUL2 = tuple(_gf_mul(x, 2) for x in range(256))
+_MUL3 = tuple(_gf_mul(x, 3) for x in range(256))
+_MUL9 = tuple(_gf_mul(x, 9) for x in range(256))
+_MUL11 = tuple(_gf_mul(x, 11) for x in range(256))
+_MUL13 = tuple(_gf_mul(x, 13) for x in range(256))
+_MUL14 = tuple(_gf_mul(x, 14) for x in range(256))
+
+
+class AES:
+    """The AES block cipher: 16-byte blocks, 16/24/32-byte keys."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) not in (16, 24, 32):
+            raise InvalidKeyError("AES keys must be 16, 24 or 32 bytes")
+        self._nk = len(key) // 4
+        self._rounds = {4: 10, 6: 12, 8: 14}[self._nk]
+        self._round_keys = self._expand_key(key)
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        nk, rounds = self._nk, self._rounds
+        words = [list(key[4 * i:4 * i + 4]) for i in range(nk)]
+        for i in range(nk, 4 * (rounds + 1)):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [_SBOX[b] for b in temp]
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        # Group into per-round 16-byte keys (column-major state order).
+        return [sum(words[4 * r:4 * r + 4], []) for r in range(rounds + 1)]
+
+    # State is a flat list of 16 bytes in column-major order, matching the
+    # byte order of the input block.
+
+    @staticmethod
+    def _add_round_key(state: List[int], rk: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: List[int], box) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[5], s[10], s[15],
+            s[4], s[9], s[14], s[3],
+            s[8], s[13], s[2], s[7],
+            s[12], s[1], s[6], s[11],
+        ]
+
+    @staticmethod
+    def _inv_shift_rows(state: List[int]) -> List[int]:
+        s = state
+        return [
+            s[0], s[13], s[10], s[7],
+            s[4], s[1], s[14], s[11],
+            s[8], s[5], s[2], s[15],
+            s[12], s[9], s[6], s[3],
+        ]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c:4 * c + 4]
+            out[4 * c + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[4 * c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[4 * c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[4 * c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: List[int]) -> List[int]:
+        out = [0] * 16
+        for c in range(4):
+            a0, a1, a2, a3 = state[4 * c:4 * c + 4]
+            out[4 * c + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 * c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[4 * c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[4 * c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError("AES blocks are exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[0])
+        for rnd in range(1, self._rounds):
+            self._sub_bytes(state, _SBOX)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[rnd])
+        self._sub_bytes(state, _SBOX)
+        state = self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != 16:
+            raise CryptoError("AES blocks are exactly 16 bytes")
+        state = list(block)
+        self._add_round_key(state, self._round_keys[self._rounds])
+        for rnd in range(self._rounds - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            self._sub_bytes(state, _INV_SBOX)
+            self._add_round_key(state, self._round_keys[rnd])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        self._sub_bytes(state, _INV_SBOX)
+        self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,102 @@
+"""Chaum blind RSA signatures.
+
+Section V-A of the paper: "Blind signatures can help to provide the privacy
+of content ... a signature of a message's keyword is used as a key to
+encrypt the message" (the Hummingbird subscribe protocol).  The subscriber
+obtains the publisher's signature on a hashtag *without revealing the
+hashtag*; that signature then doubles as the decryption-key seed for every
+message carrying the tag (:mod:`repro.search.blind_subscribe`).
+
+Protocol (requester R, signer S with RSA key ``(n, e, d)``):
+
+1. R blinds:   ``m' = H(m) * r^e  (mod n)`` for random ``r``.
+2. S signs:    ``s' = (m')^d      (mod n)`` — learns nothing about ``m``.
+3. R unblinds: ``s  = s' * r^-1   (mod n)``; now ``s = H(m)^d``.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from math import gcd
+from typing import Optional
+
+from repro.crypto import rsa
+from repro.crypto.numbertheory import bytes_to_int, int_to_bytes, modinv
+from repro.exceptions import SignatureError
+
+_DEFAULT_RNG = _random.Random(0xB11D)
+
+
+def _message_representative(message: bytes, n: int) -> int:
+    """Full-domain hash of the message into ``Z_n``."""
+    return rsa._encode_digest_for_signing(message, n)
+
+
+@dataclass
+class BlindingContext:
+    """Requester-side state: the blinded message to send, and the unblinder.
+
+    Keep this object private; ``blinded`` is the only value that goes on the
+    wire to the signer.
+    """
+
+    public_key: rsa.RSAPublicKey
+    message: bytes
+    blinded: int
+    _r_inv: int
+
+    def unblind(self, blind_signature: int) -> bytes:
+        """Strip the blinding factor and verify the resulting signature."""
+        s = blind_signature * self._r_inv % self.public_key.n
+        signature = int_to_bytes(s, self.public_key.byte_length)
+        if not verify(self.public_key, self.message, signature):
+            raise SignatureError("unblinded signature does not verify")
+        return signature
+
+
+def blind(pub: rsa.RSAPublicKey, message: bytes,
+          rng: Optional[_random.Random] = None) -> BlindingContext:
+    """Requester step 1: produce the blinded representative."""
+    rng = rng or _DEFAULT_RNG
+    m = _message_representative(message, pub.n)
+    while True:
+        r = rng.randrange(2, pub.n - 1)
+        if gcd(r, pub.n) == 1:
+            break
+    blinded = m * pow(r, pub.e, pub.n) % pub.n
+    return BlindingContext(public_key=pub, message=message, blinded=blinded,
+                           _r_inv=modinv(r, pub.n))
+
+
+def sign_blinded(priv: rsa.RSAPrivateKey, blinded: int) -> int:
+    """Signer step 2: raw RSA power on the blinded value.
+
+    The signer sees only a uniformly random element of ``Z_n*`` — this is
+    exactly the information-theoretic blindness property the search layer
+    relies on.
+    """
+    if not 0 <= blinded < priv.n:
+        raise SignatureError("blinded value out of range")
+    return priv._crt_power(blinded)
+
+
+def verify(pub: rsa.RSAPublicKey, message: bytes, signature: bytes) -> bool:
+    """Check that ``signature`` is a valid (unblinded) signature on ``message``."""
+    if len(signature) != pub.byte_length:
+        return False
+    s = bytes_to_int(signature)
+    if s >= pub.n:
+        return False
+    return pow(s, pub.e, pub.n) == _message_representative(message, pub.n)
+
+
+def sign_directly(priv: rsa.RSAPrivateKey, message: bytes) -> bytes:
+    """Unblinded signature with the same representative (for the publisher).
+
+    The publisher uses this to derive the per-hashtag key itself — it must
+    equal what any subscriber obtains through the blind protocol, which is
+    what makes the scheme a key-agreement in disguise.
+    """
+    m = _message_representative(message, priv.n)
+    return int_to_bytes(priv._crt_power(m), priv.public_key.byte_length)

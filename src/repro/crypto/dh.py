@@ -1,0 +1,57 @@
+"""Diffie–Hellman key agreement over a Schnorr group.
+
+Used wherever two DOSN peers need a shared symmetric key without a central
+provider: friend-to-friend channels in the overlay, and the out-of-band key
+establishment that the survey notes (Section IV-A) as the bootstrap for
+signature verification keys.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.groups import SchnorrGroup, group_for_level
+from repro.crypto.hashing import hkdf
+from repro.exceptions import CryptoError
+
+_DEFAULT_RNG = _random.Random(0xD47)
+
+
+@dataclass(frozen=True)
+class DHKeyPair:
+    """An ephemeral or static DH keypair ``(x, g^x)``."""
+
+    group: SchnorrGroup
+    private: int
+    public: int
+
+
+def generate_keypair(level: str = "TOY",
+                     rng: Optional[_random.Random] = None,
+                     group: Optional[SchnorrGroup] = None) -> DHKeyPair:
+    """Fresh DH keypair."""
+    group = group or group_for_level(level)
+    rng = rng or _DEFAULT_RNG
+    x = group.random_scalar(rng)
+    return DHKeyPair(group=group, private=x, public=group.exp(x))
+
+
+def shared_secret(own: DHKeyPair, peer_public: int) -> bytes:
+    """The raw shared group element, serialized.
+
+    Both sides compute ``peer_public ** own.private``; validation rejects
+    elements outside the prime-order subgroup (small-subgroup attacks).
+    """
+    if not own.group.contains(peer_public):
+        raise CryptoError("peer public value is not in the prime-order subgroup")
+    value = own.group.power(peer_public, own.private)
+    width = (own.group.p.bit_length() + 7) // 8
+    return value.to_bytes(width, "big")
+
+
+def derive_key(own: DHKeyPair, peer_public: int, length: int = 32,
+               context: bytes = b"repro/dh") -> bytes:
+    """HKDF-derive a symmetric key from the DH shared secret."""
+    return hkdf(shared_secret(own, peer_public), length, info=context)

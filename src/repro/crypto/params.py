@@ -1,0 +1,61 @@
+"""Precomputed cryptographic domain parameters.
+
+All constants here were generated offline by the scripts in ``scripts/``
+(``gen_pairing_params.py`` for the pairing curves, a safe-prime search for
+the discrete-log groups) and are *re-validated* by the test suite
+(primality, divisibility, supersingularity conditions).  Precomputing them
+keeps import and test times flat: safe-prime and pairing-parameter searches
+are the only genuinely slow operations in the substrate.
+
+Three sizes per primitive:
+
+* ``TOY``   — fast enough for unit tests that run hundreds of operations,
+* ``TEST``  — integration-test scale,
+* ``STD``   — benchmark scale with realistic asymmetric/symmetric ratios.
+
+None of these parameter sets provides real-world security margins; see the
+security disclaimer in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+#: Supersingular-curve pairing parameters: ``y^2 = x^3 + x`` over ``F_p``,
+#: ``p = 3 (mod 4)``, prime subgroup order ``q`` with ``p + 1 = q * cofactor``.
+PAIRING_PARAMS = {
+    "TOY": {
+        "p": 783376357034882091553273980020170686108310915583,
+        "q": 17324573639174612641,
+        "cofactor": 45217641331357125456622324224,
+    },
+    "TEST": {
+        "p": 59753222063495396639173630142445474840517631933825542990681863366071816791183,
+        "q": 255410907744136691636095715076177836731,
+        "cofactor": 233949374328814717438025878044045708464,
+    },
+    "STD": {
+        "p": 6078693918444079350007075869514518581173749831671029029319305904250515683273723046087908112651726372846124374711693040982966312251716510864346052536199667,
+        "q": 882857777327198621437422122265070572194596203571,
+        "cofactor": 6885247063062611502279296302405231860216792219200970387671755402393356353672152498385332650103927808834108,
+    },
+}
+
+#: Safe primes ``p = 2q + 1`` for Diffie–Hellman / ElGamal / Schnorr groups.
+#: Keys are the bit length of ``p``.
+SAFE_PRIMES = {
+    256: 72192058570415257234675955864498192343475216262492475477866359133446051600883,
+    512: 13174974619230833231811958393521487527812795278232024534365071356863514430258805314920466549450784026925594550950152837346665881068076306719739734100593943,
+    1024: 107986599811947686781428401075021915673232004200898510078629587557423136982950568338679534409756629881112553453094006629574007027462709201309710640430508136957661586237438220330984753643593225431639141825360743795151643981552798605507854676753290492637875336478569062029862714058815308608935340055536438746283,
+}
+
+#: Default modulus sizes per named level, shared by RSA/ElGamal/DH/Schnorr.
+LEVEL_BITS = {"TOY": 256, "TEST": 512, "STD": 1024}
+
+
+def safe_prime(bits: int) -> int:
+    """Look up a precomputed safe prime by modulus size."""
+    try:
+        return SAFE_PRIMES[bits]
+    except KeyError:
+        raise KeyError(
+            f"no precomputed safe prime of {bits} bits; "
+            f"available: {sorted(SAFE_PRIMES)}")

@@ -1,0 +1,149 @@
+"""ElGamal-based proxy re-encryption (BBS98) — flyByNight's tool.
+
+Section II-A of the paper: "A prototype Facebook application addressing
+some security issues of the Facebook platform by *proxy cryptography* has
+been built [flyByNight, Lucas & Borisov]."  flyByNight stores only
+ciphertexts at the provider and uses proxy re-encryption so one uploaded
+ciphertext can be re-targeted to each friend *by the untrusted server*
+without the server ever seeing plaintext or private keys.
+
+The Blaze–Bleumer–Strauss (1998) scheme over a Schnorr group:
+
+* encrypt to Alice:  ``ct = (m * g^k, y_a^k)`` with ``y_a = g^a``;
+* re-encryption key: ``rk(a->b) = b / a  (mod q)`` — computed by the *two
+  users* from their secrets, handed to the proxy;
+* proxy transform:   ``(c1, c2) -> (c1, c2^rk)`` turning a ciphertext for
+  Alice into one for Bob, learning nothing;
+* decrypt by Bob:    ``m = c1 / c2^(1/b)``.
+
+Caveats faithfully modelled (and unit-tested): the scheme is
+*bidirectional* (``rk(b->a) = 1/rk(a->b)``) and the proxy **colluding with
+the delegatee recovers the delegator's key** (``a = b / rk``) — the trust
+assumption flyByNight accepts and the paper's "small providers" framing
+predicts.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.groups import SchnorrGroup, group_for_level
+from repro.crypto.hashing import hkdf
+from repro.crypto.numbertheory import modinv
+from repro.crypto.symmetric import AuthenticatedCipher
+from repro.exceptions import CryptoError, DecryptionError
+
+_DEFAULT_RNG = _random.Random(0x93E)
+
+
+@dataclass(frozen=True)
+class PREKeyPair:
+    """A user's keypair ``(a, g^a)`` in the proxy-re-encryption scheme."""
+
+    group: SchnorrGroup
+    secret: int
+    public: int
+
+
+#: A level-1 BBS ciphertext ``(c1, c2) = (m * g^k, y^k)``.
+PRECiphertext = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ReEncryptionKey:
+    """The proxy's re-targeting token for one (delegator, delegatee) pair."""
+
+    group: SchnorrGroup
+    rk: int
+
+
+def generate_keypair(level: str = "TOY",
+                     rng: Optional[_random.Random] = None,
+                     group: Optional[SchnorrGroup] = None) -> PREKeyPair:
+    """Fresh PRE keypair."""
+    group = group or group_for_level(level)
+    rng = rng or _DEFAULT_RNG
+    secret = group.random_scalar(rng)
+    return PREKeyPair(group=group, secret=secret, public=group.exp(secret))
+
+
+def encrypt_element(public: int, group: SchnorrGroup, message: int,
+                    rng: Optional[_random.Random] = None) -> PRECiphertext:
+    """Encrypt a group element to a PRE public key."""
+    if not group.contains(message):
+        raise CryptoError("message must be a subgroup element")
+    rng = rng or _DEFAULT_RNG
+    k = group.random_scalar(rng)
+    return (group.mul(message, group.exp(k)), group.power(public, k))
+
+
+def decrypt_element(key: PREKeyPair, ciphertext: PRECiphertext) -> int:
+    """Decrypt: ``m = c1 / c2^(1/a)``."""
+    c1, c2 = ciphertext
+    group = key.group
+    if not (group.contains(c1) and group.contains(c2)):
+        raise DecryptionError("ciphertext components outside the subgroup")
+    shared = group.power(c2, modinv(key.secret, group.q))
+    return group.mul(c1, group.inverse(shared))
+
+
+def rekey(delegator: PREKeyPair, delegatee: PREKeyPair) -> ReEncryptionKey:
+    """``rk(a->b) = b/a``; requires both secrets (run between the users).
+
+    In deployment the two users compute this over their private channel;
+    the *proxy* only ever receives the quotient, from which neither secret
+    is recoverable alone.
+    """
+    if delegator.group is not delegatee.group:
+        raise CryptoError("keypairs from different groups")
+    group = delegator.group
+    return ReEncryptionKey(
+        group=group,
+        rk=delegatee.secret * modinv(delegator.secret, group.q) % group.q)
+
+
+def reencrypt(token: ReEncryptionKey,
+              ciphertext: PRECiphertext) -> PRECiphertext:
+    """Proxy step: re-target a ciphertext without decrypting it."""
+    c1, c2 = ciphertext
+    if not token.group.contains(c2):
+        raise CryptoError("ciphertext component outside the subgroup")
+    return (c1, token.group.power(c2, token.rk))
+
+
+def collude(token: ReEncryptionKey, delegatee: PREKeyPair) -> int:
+    """The proxy+delegatee collusion attack: recover the delegator's key.
+
+    ``a = b / rk`` — provided so tests and the E-series can demonstrate
+    the trust assumption rather than hide it.
+    """
+    return delegatee.secret * modinv(token.rk, token.group.q) % token.group.q
+
+
+# -- byte-level hybrid API ----------------------------------------------------
+
+def encrypt_bytes(public: int, group: SchnorrGroup, message: bytes,
+                  rng: Optional[_random.Random] = None
+                  ) -> Tuple[PRECiphertext, bytes]:
+    """KEM/DEM: PRE-wrap a random element, AEAD the payload.
+
+    The returned header can be re-encrypted by a proxy; the payload never
+    changes.
+    """
+    rng = rng or _DEFAULT_RNG
+    kem = group.element_from_int(rng.randrange(1, group.p))
+    header = encrypt_element(public, group, kem, rng)
+    width = (group.p.bit_length() + 7) // 8
+    key = hkdf(kem.to_bytes(width, "big"), 32, info=b"repro/pre/kem")
+    return header, AuthenticatedCipher(key).encrypt(message, rng=rng)
+
+
+def decrypt_bytes(key: PREKeyPair, header: PRECiphertext,
+                  payload: bytes) -> bytes:
+    """Invert :func:`encrypt_bytes` (after any number of re-encryptions)."""
+    kem = decrypt_element(key, header)
+    width = (key.group.p.bit_length() + 7) // 8
+    aead_key = hkdf(kem.to_bytes(width, "big"), 32, info=b"repro/pre/kem")
+    return AuthenticatedCipher(aead_key).decrypt(payload)

@@ -1,0 +1,21 @@
+"""The core DOSN library: users, content, storage architectures, feeds.
+
+This package composes the substrates — crypto (:mod:`repro.crypto`), access
+control (:mod:`repro.acl`), integrity (:mod:`repro.integrity`) and overlays
+(:mod:`repro.overlay`) — into the user-facing social network the paper
+surveys.  Entry point: :class:`repro.dosn.api.DosnNetwork`.
+"""
+
+from repro.dosn.api import ARCHITECTURES, DosnNetwork
+from repro.dosn.content import Post, Profile, ProfileField, content_id
+from repro.dosn.feed import FeedItem, FeedReport, assemble_feed
+from repro.dosn.identity import Identity, KeyRegistry, create_identity
+from repro.dosn.provider import CentralProvider, ExposureReport
+from repro.dosn.user import DosnUser, VerifiedPost
+
+__all__ = [
+    "ARCHITECTURES", "CentralProvider", "DosnNetwork", "DosnUser",
+    "ExposureReport", "FeedItem", "FeedReport", "Identity", "KeyRegistry",
+    "Post", "Profile", "ProfileField", "VerifiedPost", "assemble_feed",
+    "content_id", "create_identity",
+]

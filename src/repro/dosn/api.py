@@ -1,0 +1,198 @@
+"""The high-level DOSN facade: one object, every architecture.
+
+:class:`DosnNetwork` wires users, a storage architecture, and encryption
+policy together so examples and experiments read like the scenarios in the
+paper::
+
+    net = DosnNetwork(architecture="dht", seed=7)
+    alice, bob = net.add_user("alice"), net.add_user("bob")
+    net.befriend("alice", "bob")
+    cid = net.post("alice", "hello distributed world!")
+    feed = net.feed("bob")             # fetch + decrypt + verify
+    report = net.exposure_report()     # who could observe what
+
+Architectures (the Section II taxonomy): ``central`` (baseline provider),
+``dht`` (Chord + replication), ``federation`` (pods), ``local``
+(owner-only storage).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.dosn.feed import FeedReport, assemble_feed
+from repro.dosn.provider import CentralProvider, ExposureReport
+from repro.dosn.storage import (CentralBackend, DHTBackend,
+                                FederationBackend, LocalBackend,
+                                StorageBackend)
+from repro.dosn.user import DosnUser
+from repro.dosn.identity import KeyRegistry
+from repro.exceptions import OverlayError
+from repro.overlay.chord import ChordRing
+from repro.overlay.federation import FederatedNetwork
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+ARCHITECTURES = ("central", "dht", "federation", "local")
+
+
+class DosnNetwork:
+    """A complete simulated (D)OSN."""
+
+    def __init__(self, architecture: str = "dht", seed: int = 0,
+                 encrypt_content: bool = True, level: str = "TOY",
+                 replication: int = 2, federation_pods: int = 4) -> None:
+        if architecture not in ARCHITECTURES:
+            raise OverlayError(
+                f"unknown architecture {architecture!r}; "
+                f"pick from {ARCHITECTURES}")
+        self.architecture = architecture
+        self.level = level
+        self.encrypt_content = encrypt_content
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.registry = KeyRegistry()
+        self.users: Dict[str, DosnUser] = {}
+        self.graph = nx.Graph()
+        self.rng = _random.Random(seed)
+        self._dirty_routing = False
+        self.provider: Optional[CentralProvider] = None
+        if architecture == "central":
+            self.provider = CentralProvider()
+            self.storage: StorageBackend = CentralBackend(self.provider)
+        elif architecture == "dht":
+            self.ring = ChordRing(self.network, replication=replication)
+            self.storage = DHTBackend(self.ring)
+        elif architecture == "federation":
+            self.federation = FederatedNetwork(
+                self.network, [f"pod{i}" for i in range(federation_pods)])
+            self.storage = FederationBackend(self.federation)
+        else:
+            self.storage = LocalBackend()
+        #: cid -> (author, encrypted?) for exposure accounting
+        self._catalog: Dict[str, Tuple[str, bool]] = {}
+
+    # -- population -----------------------------------------------------------
+
+    def add_user(self, name: str) -> DosnUser:
+        """Create a user and enroll them in the architecture."""
+        user = DosnUser(name, self.registry, level=self.level,
+                        rng=_random.Random(f"{name}/{self.rng.random()}"),
+                        encrypt_content=self.encrypt_content)
+        self.users[name] = user
+        self.graph.add_node(name)
+        if self.architecture == "dht":
+            self.ring.add_node(name)
+            self._dirty_routing = True
+        elif self.architecture == "federation":
+            self.federation.register_user(name)
+        return user
+
+    def add_users(self, names: Sequence[str]) -> List[DosnUser]:
+        """Bulk user creation."""
+        return [self.add_user(name) for name in names]
+
+    def befriend(self, a: str, b: str) -> None:
+        """Create a mutual friendship (keys exchanged out-of-band)."""
+        self.users[a].befriend(self.users[b])
+        self.graph.add_edge(a, b)
+        if self.provider is not None:
+            self.provider.record_edge(a, b)
+
+    def apply_social_graph(self, graph: nx.Graph) -> None:
+        """Befriend along every edge of a (workload-generated) graph."""
+        for a, b in graph.edges:
+            self.befriend(str(a), str(b))
+
+    def _ensure_routing(self) -> None:
+        if self.architecture == "dht" and self._dirty_routing:
+            self.ring.build()
+            self._dirty_routing = False
+
+    # -- the social operations ----------------------------------------------------
+
+    def post(self, author: str, text: str,
+             tags: Sequence[str] = ()) -> str:
+        """Author a post; returns its content id."""
+        self._ensure_routing()
+        user = self.users[author]
+        cid, blob = user.compose_post(text, tags)
+        self.storage.put(author, cid, blob,
+                         recipients=sorted(user.friends))
+        self._catalog[cid] = (author, self.encrypt_content)
+        return cid
+
+    def read(self, reader: str, author: str, cid: str):
+        """Fetch, decrypt and verify one post as ``reader``."""
+        self._ensure_routing()
+        blob = self.storage.get(reader, cid)
+        return self.users[reader].open_post(author, blob, expected_cid=cid)
+
+    def feed(self, reader: str,
+             limit_per_friend: Optional[int] = None) -> FeedReport:
+        """Assemble the reader's verified news feed."""
+        self._ensure_routing()
+        return assemble_feed(
+            self.users[reader], self.users,
+            fetch=lambda r, cid: self.storage.get(r, cid),
+            limit_per_friend=limit_per_friend)
+
+    # -- exposure accounting (experiment E8) -----------------------------------------
+
+    def exposure_report(self) -> List[ExposureReport]:
+        """Per-observer exposure: content/metadata/graph view fractions.
+
+        Observers are providers (central), pods (federation) or storing
+        peers (dht/local).  A stored blob counts toward ``content_view``
+        only if it is readable by that observer: unencrypted, or the
+        observer is the author/a friend holding the group key.
+        """
+        total_content = len(self._catalog)
+        total_edges = self.graph.number_of_edges()
+        reports: List[ExposureReport] = []
+        for observer, stored in self.storage.observer_views().items():
+            readable = 0
+            graph_view = 0.0
+            for cid in stored:
+                author, encrypted = self._catalog.get(cid, (None, True))
+                if author is None:
+                    continue
+                if not encrypted:
+                    readable += 1
+                elif observer == author or (
+                        observer in self.users
+                        and author in self.users[observer].friend_keys):
+                    readable += 1
+            if self.provider is not None and observer == self.provider.name:
+                graph_view = (len(self.provider.observed_edges)
+                              / total_edges if total_edges else 0.0)
+            elif self.architecture == "federation":
+                server = self.federation.servers.get(observer)
+                if server is not None and total_edges:
+                    seen = {tuple(sorted(edge))
+                            for edge in server.observed_edges}
+                    graph_view = len(seen) / total_edges
+            elif observer in self.users and total_edges:
+                # A peer knows its own friendships.
+                graph_view = self.graph.degree(observer) / total_edges
+            reports.append(ExposureReport(
+                observer=observer,
+                content_view=(readable / total_content
+                              if total_content else 0.0),
+                metadata_view=(len(stored & set(self._catalog))
+                               / total_content if total_content else 0.0),
+                graph_view=graph_view))
+        return reports
+
+    def worst_observer(self) -> ExposureReport:
+        """The single most-exposed observer (the paper's headline metric)."""
+        reports = self.exposure_report()
+        if not reports:
+            return ExposureReport(observer="nobody", content_view=0.0,
+                                  metadata_view=0.0, graph_view=0.0)
+        return max(reports,
+                   key=lambda r: (r.content_view, r.metadata_view,
+                                  r.graph_view))

@@ -1,0 +1,119 @@
+"""User identities and out-of-band key distribution.
+
+Section IV-A of the paper: "For the signature verification, it is important
+to know the valid verification key of each signer.  One solution is
+distributing proper keys out-of-band like physical meeting or transferring
+the keys via e-mail."
+
+:class:`Identity` bundles a user's signing (Schnorr) and encryption
+(ElGamal) keypairs; :class:`KeyRegistry` models the out-of-band channel:
+whoever holds the registry has *authenticated* public keys (the trust
+anchor every integrity mechanism in Section IV builds on).  The registry
+stores only public halves — private keys never leave the identity object.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto import elgamal
+from repro.crypto.hashing import hexdigest
+from repro.crypto.signatures import (SchnorrPublicKey, SchnorrSigner,
+                                     generate_schnorr_keypair)
+from repro.exceptions import CryptoError, InvalidKeyError
+
+
+@dataclass
+class Identity:
+    """A user's complete key material (keep private!)."""
+
+    name: str
+    signer: SchnorrSigner
+    encryption_key: elgamal.ElGamalPrivateKey
+
+    @property
+    def verify_key(self) -> SchnorrPublicKey:
+        """The public signature-verification key."""
+        return self.signer.public_key
+
+    @property
+    def public_encryption_key(self) -> elgamal.ElGamalPublicKey:
+        """The public encryption key."""
+        return self.encryption_key.public_key
+
+    def fingerprint(self) -> str:
+        """A short stable fingerprint of both public keys.
+
+        This is what two users would compare at the "physical meeting" the
+        paper mentions.
+        """
+        material = (self.verify_key.to_bytes()
+                    + self.public_encryption_key.to_bytes())
+        return hexdigest(material)[:16]
+
+
+def create_identity(name: str, level: str = "TOY",
+                    rng: Optional[_random.Random] = None) -> Identity:
+    """Generate a fresh identity at the given parameter level."""
+    rng = rng or _random.Random(name)
+    return Identity(
+        name=name,
+        signer=generate_schnorr_keypair(level, rng),
+        encryption_key=elgamal.generate_keypair(level, rng=rng))
+
+
+@dataclass(frozen=True)
+class PublicIdentity:
+    """The registry-visible half of an identity."""
+
+    name: str
+    verify_key: SchnorrPublicKey
+    encryption_key: elgamal.ElGamalPublicKey
+    fingerprint: str
+
+
+class KeyRegistry:
+    """The out-of-band authenticated key store.
+
+    In deployment terms this is "we met in person / exchanged keys by
+    e-mail"; in the simulation it is a trusted map.  It deliberately has no
+    networked interface — consulting it is free and unobservable, matching
+    the paper's assumption that the key-distribution problem is solved
+    out-of-band.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, PublicIdentity] = {}
+
+    def register(self, identity: Identity) -> PublicIdentity:
+        """Publish the public half of an identity (idempotent, no rebind)."""
+        existing = self._entries.get(identity.name)
+        public = PublicIdentity(
+            name=identity.name, verify_key=identity.verify_key,
+            encryption_key=identity.public_encryption_key,
+            fingerprint=identity.fingerprint())
+        if existing is not None:
+            if existing.fingerprint != public.fingerprint:
+                raise InvalidKeyError(
+                    f"identity {identity.name!r} already registered with a "
+                    "different key (impersonation attempt?)")
+            return existing
+        self._entries[identity.name] = public
+        return public
+
+    def get(self, name: str) -> PublicIdentity:
+        """Authenticated public keys of a user."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CryptoError(
+                f"no out-of-band key material for {name!r}; users must "
+                "exchange keys before verifying each other")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

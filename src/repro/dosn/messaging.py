@@ -1,0 +1,194 @@
+"""End-to-end secure direct messaging between DOSN peers.
+
+Composes the substrate pieces the paper treats separately into the private
+channel every DOSN needs: Diffie–Hellman pairwise keys (Section III),
+signed envelopes carrying owner/content/relation/freshness integrity
+(Section IV), and store-and-forward mailboxes for offline recipients
+(the availability concern of Section I).
+
+Wire protection is layered exactly as a deployment would:
+
+1. the plaintext is sealed in a :class:`~repro.integrity.envelope.MessageEnvelope`
+   (signature binds sender, recipient, sequence number and timestamp);
+2. the serialized envelope is AEAD-encrypted under a direction-specific
+   key derived from the DH shared secret — the mailbox host (a replica,
+   i.e. a "small provider") sees only ciphertext and routing metadata;
+3. the receiver decrypts, verifies the signature, checks the recipient
+   binding, and enforces strictly increasing sequence numbers (replay and
+   reorder detection).
+"""
+
+from __future__ import annotations
+
+import json
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import dh
+from repro.crypto.hashing import hkdf
+from repro.crypto.symmetric import AuthenticatedCipher
+from repro.dosn.identity import Identity, KeyRegistry
+from repro.exceptions import (AccessDeniedError, DecryptionError,
+                              IntegrityError)
+from repro.integrity.envelope import MessageEnvelope, open_envelope, seal
+
+
+def _direction_key(shared: bytes, sender: str, recipient: str) -> bytes:
+    """A per-direction channel key (A->B and B->A keys differ)."""
+    return hkdf(shared, 32,
+                info=b"repro/msg/" + sender.encode() + b">"
+                + recipient.encode())
+
+
+def _encode_envelope(envelope: MessageEnvelope) -> bytes:
+    return json.dumps({
+        "sender": envelope.sender,
+        "recipient": envelope.recipient,
+        "body": envelope.body.hex(),
+        "issued_at": envelope.issued_at,
+        "expires_at": envelope.expires_at,
+        "sequence": envelope.sequence,
+        "signature": list(envelope.signature),
+    }).encode()
+
+
+def _decode_envelope(raw: bytes) -> MessageEnvelope:
+    data = json.loads(raw.decode())
+    return MessageEnvelope(
+        sender=data["sender"], recipient=data["recipient"],
+        body=bytes.fromhex(data["body"]), issued_at=data["issued_at"],
+        expires_at=data["expires_at"], sequence=data["sequence"],
+        signature=tuple(data["signature"]))
+
+
+@dataclass
+class SealedMessage:
+    """What travels / sits in a mailbox: routing metadata + ciphertext."""
+
+    sender: str
+    recipient: str
+    ciphertext: bytes
+
+
+class Messenger:
+    """One user's messaging endpoint."""
+
+    def __init__(self, identity: Identity, registry: KeyRegistry,
+                 level: str = "TOY",
+                 rng: Optional[_random.Random] = None) -> None:
+        self.identity = identity
+        self.registry = registry
+        self.rng = rng or _random.Random(f"msg/{identity.name}")
+        self._dh = dh.generate_keypair(level, self.rng)
+        #: peer -> DH shared secret bytes
+        self._shared: Dict[str, bytes] = {}
+        self._send_sequence: Dict[str, int] = {}
+        self._recv_sequence: Dict[str, int] = {}
+
+    @property
+    def name(self) -> str:
+        """The endpoint's user name."""
+        return self.identity.name
+
+    @property
+    def dh_public(self) -> int:
+        """The DH public value exchanged during channel establishment."""
+        return self._dh.public
+
+    def establish_channel(self, other: "Messenger") -> None:
+        """Mutual channel setup (models the out-of-band friend handshake)."""
+        self._shared[other.name] = dh.shared_secret(self._dh,
+                                                    other.dh_public)
+        other._shared[self.name] = dh.shared_secret(other._dh,
+                                                    self.dh_public)
+
+    # -- sending ---------------------------------------------------------------
+
+    def compose(self, recipient: str, body: bytes, now: float,
+                expires_at: Optional[float] = None) -> SealedMessage:
+        """Seal, sign and encrypt one direct message."""
+        shared = self._shared.get(recipient)
+        if shared is None:
+            raise AccessDeniedError(
+                f"no channel with {recipient!r}; establish one first")
+        sequence = self._send_sequence.get(recipient, 0)
+        self._send_sequence[recipient] = sequence + 1
+        envelope = seal(self.identity.signer, self.name, body,
+                        issued_at=now, recipient=recipient,
+                        expires_at=expires_at, sequence=sequence,
+                        rng=self.rng)
+        key = _direction_key(shared, self.name, recipient)
+        ciphertext = AuthenticatedCipher(key).encrypt(
+            _encode_envelope(envelope), rng=self.rng)
+        return SealedMessage(sender=self.name, recipient=recipient,
+                             ciphertext=ciphertext)
+
+    # -- receiving --------------------------------------------------------------
+
+    def open(self, message: SealedMessage,
+             now: Optional[float] = None) -> bytes:
+        """Decrypt and fully verify an inbound message.
+
+        Raises :class:`IntegrityError` on signature/relation/freshness
+        violations and on replayed or reordered sequence numbers;
+        :class:`AccessDeniedError` when the ciphertext isn't for us.
+        """
+        if message.recipient != self.name:
+            raise AccessDeniedError(
+                f"message addressed to {message.recipient!r}, "
+                f"we are {self.name!r}")
+        shared = self._shared.get(message.sender)
+        if shared is None:
+            raise AccessDeniedError(
+                f"no channel with {message.sender!r}")
+        key = _direction_key(shared, message.sender, self.name)
+        try:
+            raw = AuthenticatedCipher(key).decrypt(message.ciphertext)
+        except DecryptionError:
+            raise IntegrityError(
+                "channel decryption failed: tampered ciphertext or "
+                "mismatched channel keys")
+        envelope = _decode_envelope(raw)
+        sender_key = self.registry.get(message.sender).verify_key
+        body = open_envelope(envelope, sender_key,
+                             expected_recipient=self.name, now=now)
+        expected = self._recv_sequence.get(message.sender, 0)
+        if envelope.sequence < expected:
+            raise IntegrityError(
+                f"replayed message: sequence {envelope.sequence} already "
+                f"consumed (expected >= {expected})")
+        if envelope.sequence > expected:
+            raise IntegrityError(
+                f"sequence gap: got {envelope.sequence}, expected "
+                f"{expected} — messages suppressed or reordered")
+        self._recv_sequence[message.sender] = expected + 1
+        return body
+
+
+class MailboxService:
+    """Store-and-forward delivery for offline recipients.
+
+    The mailbox host is an untrusted "small provider": it sees sender,
+    recipient and timing (the metadata the paper warns about) but only
+    ciphertext bodies — :meth:`host_view` exports exactly that for the
+    exposure experiments.
+    """
+
+    def __init__(self) -> None:
+        self._boxes: Dict[str, List[SealedMessage]] = {}
+        self._log: List[Tuple[str, str, int]] = []
+
+    def deliver(self, message: SealedMessage) -> None:
+        """Queue a message for its recipient."""
+        self._boxes.setdefault(message.recipient, []).append(message)
+        self._log.append((message.sender, message.recipient,
+                          len(message.ciphertext)))
+
+    def drain(self, recipient: str) -> List[SealedMessage]:
+        """Hand over and clear the recipient's queue (in arrival order)."""
+        return self._boxes.pop(recipient, [])
+
+    def host_view(self) -> List[Tuple[str, str, int]]:
+        """The metadata the mailbox host observes: (from, to, size)."""
+        return list(self._log)

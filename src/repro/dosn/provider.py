@@ -1,0 +1,123 @@
+"""The centralized provider baseline and exposure metering.
+
+Section II-A of the paper lists what the central provider can do with its
+global view (data retention, employee browsing, selling of data); Section I
+states the thesis this library quantifies: "DOSNs reduce the security risks
+of one big central provider by distributing them among small ones."
+
+:class:`CentralProvider` is the baseline: it stores everything, sees every
+social edge and every read.  :class:`ExposureReport` is the common metric
+all architectures are scored with in experiment E8:
+
+* ``content_view``   — fraction of all content objects the observer stores
+  *readably* (encrypted blobs don't count);
+* ``graph_view``     — fraction of social edges it observes;
+* ``metadata_view``  — fraction of content objects it stores at all
+  (ciphertexts still leak size/timing metadata).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import StorageError
+
+
+@dataclass
+class ExposureReport:
+    """One observer's view, as fractions of the global totals."""
+
+    observer: str
+    content_view: float
+    metadata_view: float
+    graph_view: float
+
+    def dominates(self, other: "ExposureReport") -> bool:
+        """Strictly more exposure on every axis."""
+        return (self.content_view >= other.content_view
+                and self.metadata_view >= other.metadata_view
+                and self.graph_view >= other.graph_view
+                and (self.content_view, self.metadata_view, self.graph_view)
+                != (other.content_view, other.metadata_view,
+                    other.graph_view))
+
+
+class CentralProvider:
+    """The omniscient centralized OSN service (Facebook-shaped baseline).
+
+    Also models the Section II-A abuses so examples/tests can demonstrate
+    them: :meth:`delete` only *pretends* to delete (data retention),
+    :meth:`employee_browse` reads anything, and :meth:`sell_profile`
+    exports a user's accumulated dossier.
+    """
+
+    def __init__(self, name: str = "provider") -> None:
+        self.name = name
+        #: content id -> (author, payload, deleted?)
+        self._content: Dict[str, Tuple[str, bytes, bool]] = {}
+        self.observed_edges: Set[Tuple[str, str]] = set()
+        self.read_log: List[Tuple[str, str]] = []  # (reader, content id)
+
+    # -- the normal service interface ---------------------------------------
+
+    def store(self, author: str, cid: str, payload: bytes) -> None:
+        """Accept an upload (the provider sees author + full payload)."""
+        self._content[cid] = (author, payload, False)
+
+    def fetch(self, reader: str, cid: str) -> bytes:
+        """Serve a read (and log who read what)."""
+        entry = self._content.get(cid)
+        if entry is None or entry[2]:
+            raise StorageError(f"{cid!r} does not exist (or was 'deleted')")
+        self.read_log.append((reader, cid))
+        return entry[1]
+
+    def record_edge(self, a: str, b: str) -> None:
+        """Observe a friendship (providers see the whole social graph)."""
+        self.observed_edges.add((min(a, b), max(a, b)))
+
+    def delete(self, cid: str) -> None:
+        """'Delete' content — data retention means only the flag flips."""
+        author, payload, _ = self._content[cid]
+        self._content[cid] = (author, payload, True)
+
+    # -- the Section II-A abuses ------------------------------------------------
+
+    def employee_browse(self, cid: str) -> bytes:
+        """Full access regardless of deletion flags or any user setting."""
+        try:
+            return self._content[cid][1]
+        except KeyError:
+            raise StorageError(f"{cid!r} was never uploaded")
+
+    def sell_profile(self, user: str) -> Dict[str, object]:
+        """The dossier an advertiser would buy."""
+        owned = {cid: payload for cid, (author, payload, _)
+                 in self._content.items() if author == user}
+        friends = {b if a == user else a
+                   for a, b in self.observed_edges if user in (a, b)}
+        reads = [cid for reader, cid in self.read_log if reader == user]
+        return {"content": owned, "friends": friends, "read_history": reads}
+
+    # -- exposure metering ---------------------------------------------------------
+
+    def exposure(self, total_content: int, total_edges: int,
+                 readable_ids: Optional[Set[str]] = None) -> ExposureReport:
+        """Score this provider's view against global totals.
+
+        ``readable_ids`` restricts which stored objects count as readable
+        (pass the set of *unencrypted* ids when users applied Section III
+        protections; default: everything it stores is readable).
+        """
+        stored = {cid for cid, (_, _, deleted) in self._content.items()}
+        readable = stored if readable_ids is None \
+            else stored & readable_ids
+        return ExposureReport(
+            observer=self.name,
+            content_view=(len(readable) / total_content
+                          if total_content else 0.0),
+            metadata_view=(len(stored) / total_content
+                           if total_content else 0.0),
+            graph_view=(len(self.observed_edges) / total_edges
+                        if total_edges else 0.0))

@@ -1,0 +1,128 @@
+"""Uniform storage backends over the Section II architectures.
+
+:class:`DosnNetwork` talks to storage through one interface so the same
+social workload can run against a centralized provider, a DHT, or a server
+federation — which is what makes the E8 exposure comparison apples-to-
+apples.  Every backend records *who ends up storing what*, feeding the
+exposure reports.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dosn.provider import CentralProvider, ExposureReport
+from repro.exceptions import StorageError
+from repro.overlay.chord import ChordRing
+from repro.overlay.federation import FederatedNetwork
+
+
+class StorageBackend(abc.ABC):
+    """Where content blobs live, and who can observe them there."""
+
+    @abc.abstractmethod
+    def put(self, author: str, cid: str, blob: bytes,
+            recipients: Sequence[str] = ()) -> None:
+        """Store a blob (recipients are used by delivery-based backends)."""
+
+    @abc.abstractmethod
+    def get(self, reader: str, cid: str) -> bytes:
+        """Retrieve a blob on behalf of ``reader``."""
+
+    @abc.abstractmethod
+    def observer_views(self) -> Dict[str, Set[str]]:
+        """observer name -> set of content ids it physically stores."""
+
+
+class CentralBackend(StorageBackend):
+    """All blobs at one provider (Section II-A)."""
+
+    def __init__(self, provider: Optional[CentralProvider] = None) -> None:
+        self.provider = provider or CentralProvider()
+
+    def put(self, author: str, cid: str, blob: bytes,
+            recipients: Sequence[str] = ()) -> None:
+        self.provider.store(author, cid, blob)
+
+    def get(self, reader: str, cid: str) -> bytes:
+        return self.provider.fetch(reader, cid)
+
+    def observer_views(self) -> Dict[str, Set[str]]:
+        return {self.provider.name:
+                set(self.provider._content.keys())}
+
+
+class DHTBackend(StorageBackend):
+    """Blobs on a Chord ring with successor replication (Section II-B)."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+        #: cid -> the replica set chosen at put time
+        self.placements: Dict[str, List[str]] = {}
+
+    def put(self, author: str, cid: str, blob: bytes,
+            recipients: Sequence[str] = ()) -> None:
+        if author not in self.ring.nodes:
+            raise StorageError(f"author {author!r} is not a ring member")
+        self.ring.put(author, cid, blob)
+        self.placements[cid] = self.ring.replica_set(cid)
+
+    def get(self, reader: str, cid: str) -> bytes:
+        value, _ = self.ring.get(reader, cid)
+        return value
+
+    def observer_views(self) -> Dict[str, Set[str]]:
+        views: Dict[str, Set[str]] = {}
+        for name, node in self.ring.nodes.items():
+            views[name] = set(node.store.keys())
+        return views
+
+
+class FederationBackend(StorageBackend):
+    """Blobs on home pods, federated to recipients' pods (Section II-B)."""
+
+    def __init__(self, federation: FederatedNetwork) -> None:
+        self.federation = federation
+
+    def put(self, author: str, cid: str, blob: bytes,
+            recipients: Sequence[str] = ()) -> None:
+        self.federation.post(author, cid, blob, recipients)
+
+    def get(self, reader: str, cid: str) -> bytes:
+        return self.federation.fetch(reader, cid)
+
+    def observer_views(self) -> Dict[str, Set[str]]:
+        return {name: set(server.content.keys())
+                for name, server in self.federation.servers.items()}
+
+
+class LocalBackend(StorageBackend):
+    """Owner-only storage: nothing leaves the author's machine.
+
+    The availability-versus-privacy extreme point: zero exposure, but the
+    content is only retrievable while the author is online (no replicas) —
+    the trade-off Section I describes.
+    """
+
+    def __init__(self) -> None:
+        self._stores: Dict[str, Dict[str, bytes]] = {}
+        self.online: Dict[str, bool] = {}
+
+    def put(self, author: str, cid: str, blob: bytes,
+            recipients: Sequence[str] = ()) -> None:
+        self._stores.setdefault(author, {})[cid] = blob
+        self.online.setdefault(author, True)
+
+    def get(self, reader: str, cid: str) -> bytes:
+        for author, store in self._stores.items():
+            if cid in store:
+                if not self.online.get(author, True):
+                    raise StorageError(
+                        f"owner {author!r} is offline; {cid!r} unavailable")
+                return store[cid]
+        raise StorageError(f"{cid!r} not stored anywhere")
+
+    def observer_views(self) -> Dict[str, Set[str]]:
+        return {author: set(store.keys())
+                for author, store in self._stores.items()}

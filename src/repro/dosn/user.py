@@ -1,0 +1,210 @@
+"""The DOSN peer: identity + encryption + integrity + storage, composed.
+
+"Every user is equally privileged participant, and can be the source and
+destination of the provided information" (Section I).  A :class:`DosnUser`
+is exactly that: it owns its identity and keys, encrypts content for its
+friend group before anything touches storage, hash-chains and signs every
+post, and decrypts/verifies everything it reads.
+
+Wire format: a post blob is a JSON document carrying the plaintext post
+fields plus the author's Schnorr signature; when the network runs with
+encryption enabled the JSON is wrapped in the author's group
+:class:`~repro.crypto.symmetric.StreamCipher`.  Group keys reach friends
+through the out-of-band channel of :mod:`repro.dosn.identity` (the paper's
+solved-key-distribution assumption); the *comparison* between key-
+management schemes is the job of :mod:`repro.acl` and experiments E2/E3 —
+here one scheme suffices to make the network concrete.
+"""
+
+from __future__ import annotations
+
+import json
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.hashing import digest_many
+from repro.crypto.signatures import SchnorrPublicKey
+from repro.crypto.symmetric import StreamCipher, random_key
+from repro.dosn.content import Post, Profile, content_id
+from repro.dosn.identity import Identity, KeyRegistry, create_identity
+from repro.exceptions import (AccessDeniedError, DecryptionError,
+                              IntegrityError)
+from repro.integrity.hashchain import Timeline, TimelineView
+
+
+def _post_signed_bytes(author: str, sequence: int, text: str,
+                       tags: Sequence[str]) -> bytes:
+    return digest_many([b"repro/dosn/post", author.encode(),
+                        sequence.to_bytes(8, "big"), text.encode(),
+                        *(t.encode() for t in tags)])
+
+
+@dataclass
+class VerifiedPost:
+    """A post that passed signature (and optionally chain) verification."""
+
+    author: str
+    sequence: int
+    text: str
+    tags: Tuple[str, ...]
+    content_id: str
+
+
+class DosnUser:
+    """One peer in the DOSN."""
+
+    def __init__(self, name: str, registry: KeyRegistry, level: str = "TOY",
+                 rng: Optional[_random.Random] = None,
+                 encrypt_content: bool = True) -> None:
+        self.name = name
+        self.rng = rng or _random.Random(f"user/{name}")
+        self.identity: Identity = create_identity(name, level, self.rng)
+        self.registry = registry
+        registry.register(self.identity)
+        self.encrypt_content = encrypt_content
+        self.friends: Set[str] = set()
+        self.timeline = Timeline(name, self.identity.signer)
+        self.profile = Profile(owner=name)
+        #: this user's friend-group key (symmetric-ACL style)
+        self.group_key: bytes = random_key(32, self.rng)
+        #: keys received from friends: author -> their group key
+        self.friend_keys: Dict[str, bytes] = {}
+        #: verified replicas of friends' timelines
+        self.views: Dict[str, TimelineView] = {}
+        self.posts_published = 0
+
+    # -- friendship -----------------------------------------------------------
+
+    def befriend(self, other: "DosnUser") -> None:
+        """Mutual friendship: exchange group keys over the OOB channel."""
+        self.friends.add(other.name)
+        other.friends.add(self.name)
+        self.friend_keys[other.name] = other.group_key
+        other.friend_keys[self.name] = self.group_key
+        # Pin each other's verified timelines from the current state.
+        self._ensure_view(other.name)
+        other._ensure_view(self.name)
+
+    def _ensure_view(self, author: str) -> TimelineView:
+        view = self.views.get(author)
+        if view is None:
+            public = self.registry.get(author)
+            view = TimelineView(author, public.verify_key)
+            self.views[author] = view
+        return view
+
+    # -- publishing ---------------------------------------------------------------
+
+    def compose_post(self, text: str,
+                     tags: Sequence[str] = ()) -> Tuple[str, bytes]:
+        """Build, sign, chain and (maybe) encrypt a post.
+
+        Returns ``(content_id, blob)``; the caller (usually
+        :class:`~repro.dosn.api.DosnNetwork`) stores the blob.
+        """
+        sequence = self.posts_published
+        signature = self.identity.signer.sign(
+            _post_signed_bytes(self.name, sequence, text, tags),
+            rng=self.rng)
+        document = json.dumps({
+            "author": self.name, "sequence": sequence, "text": text,
+            "tags": list(tags), "signature": list(signature),
+        }).encode()
+        cid = content_id(self.name, "post", text.encode(), sequence)
+        self.timeline.publish(cid.encode(), rng=self.rng)
+        self.posts_published += 1
+        if self.encrypt_content:
+            blob = StreamCipher(self.group_key).encrypt(document,
+                                                        rng=self.rng)
+        else:
+            blob = document
+        return cid, blob
+
+    # -- reading --------------------------------------------------------------------
+
+    def open_post(self, author: str, blob: bytes,
+                  expected_cid: Optional[str] = None) -> VerifiedPost:
+        """Decrypt and verify a fetched post blob.
+
+        Raises :class:`AccessDeniedError` when we hold no key for the
+        author, :class:`IntegrityError` on any signature/address mismatch.
+        """
+        if author == self.name:
+            key: Optional[bytes] = self.group_key
+        else:
+            key = self.friend_keys.get(author)
+        document: Optional[bytes] = None
+        try:
+            json.loads(blob.decode())
+            document = blob  # plaintext (unencrypted network)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            if key is None:
+                raise AccessDeniedError(
+                    f"{self.name!r} holds no group key of {author!r}")
+            try:
+                document = StreamCipher(key).decrypt(blob)
+            except DecryptionError:
+                raise AccessDeniedError(
+                    f"{self.name!r}'s key for {author!r} does not open "
+                    "this blob (revoked or rotated)")
+        data = json.loads(document.decode())
+        if data["author"] != author:
+            raise IntegrityError(
+                f"blob claims author {data['author']!r}, fetched as "
+                f"{author!r}")
+        public = self.registry.get(author)
+        signed = _post_signed_bytes(data["author"], data["sequence"],
+                                    data["text"], data["tags"])
+        if not public.verify_key.verify(signed, tuple(data["signature"])):
+            raise IntegrityError(
+                "post signature invalid: owner/content integrity violated")
+        cid = content_id(data["author"], "post", data["text"].encode(),
+                         data["sequence"])
+        if expected_cid is not None and cid != expected_cid:
+            raise IntegrityError(
+                "content id mismatch: storage served a different post "
+                "than requested")
+        return VerifiedPost(author=data["author"],
+                            sequence=data["sequence"], text=data["text"],
+                            tags=tuple(data["tags"]), content_id=cid)
+
+    # -- timeline sync (historical integrity) -------------------------------------
+
+    def sync_timeline(self, other: "DosnUser") -> int:
+        """Pull and chain-verify a friend's new timeline entries.
+
+        Returns how many entries were accepted; raises
+        :class:`IntegrityError` if the friend's published chain does not
+        extend our verified view (history rewrite detection).
+        """
+        view = self._ensure_view(other.name)
+        new_entries = other.timeline.entries[len(view.entries):]
+        view.accept_all(new_entries)
+        return len(new_entries)
+
+    def verified_cids(self, author: str) -> List[str]:
+        """Content ids from the author's chain-verified timeline, in order."""
+        view = self.views.get(author)
+        if view is None:
+            return []
+        return [entry.payload.decode() for entry in view.entries]
+
+    # -- revocation (symmetric-ACL semantics, Section III-B) ------------------------
+
+    def rotate_group_key(self, except_friends: Sequence[str] = ()) -> None:
+        """Rekey the friend group, excluding some (revoked) friends.
+
+        Future posts use the new key; the paper's caveat about already-
+        decrypted copies applies and is tested explicitly.
+        """
+        self.group_key = random_key(32, self.rng)
+        for friend_name in except_friends:
+            self.friends.discard(friend_name)
+
+    def redistribute_key(self, friends: Dict[str, "DosnUser"]) -> None:
+        """Hand the current group key to every remaining friend."""
+        for name in self.friends:
+            user = friends.get(name)
+            if user is not None:
+                user.friend_keys[self.name] = self.group_key

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish crypto failures (bad keys, failed integrity checks) from
+simulation or access-control failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key is malformed, of the wrong type, or outside its valid range."""
+
+
+class DecryptionError(CryptoError):
+    """Decryption failed: wrong key, corrupted ciphertext, or bad padding."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify or could not be produced."""
+
+
+class IntegrityError(ReproError):
+    """A data-integrity invariant was violated (Section IV of the paper).
+
+    Raised when hash chains do not link, history-tree proofs fail, message
+    envelopes are tampered with, or fork consistency detects equivocation.
+    """
+
+
+class AccessDeniedError(ReproError):
+    """An access-control policy denied an operation (Section III)."""
+
+
+class PolicyError(ReproError):
+    """An access policy is malformed (e.g. an invalid ABE access tree)."""
+
+
+class SearchError(ReproError):
+    """A secure-social-search protocol failed (Section V)."""
+
+
+class OverlayError(ReproError):
+    """An overlay-network operation failed (Section II)."""
+
+
+class LookupError_(OverlayError):
+    """A key lookup in the overlay could not be resolved."""
+
+
+class StorageError(OverlayError):
+    """Stored content could not be retrieved (offline replicas, missing id)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,37 @@
+"""Demonstrators for the paper's open problems (Section VI).
+
+The survey closes with unsolved problems and out-of-scope concerns.  These
+modules implement executable versions of each — the attack where the paper
+says the problem is open, plus the best-known mitigation where it cites
+one — so the experiment suite can measure the gaps the paper points at:
+
+==============================  ==========================================
+Open problem / concern          Module
+==============================  ==========================================
+Implicit information leakage /  :mod:`repro.extensions.inference`
+network inference
+Data resharing                  :mod:`repro.extensions.resharing`
+Privacy-preserving advertising  :mod:`repro.extensions.advertising`
+Sybil attacks                   :mod:`repro.extensions.sybil`
+OSN anonymization and           :mod:`repro.extensions.anonymization`
+de-anonymization
+==============================  ==========================================
+"""
+
+from repro.extensions.advertising import (AdBroker, AdClient, Advertisement,
+                                          TrackingAdServer)
+from repro.extensions.anonymization import (deanonymize_by_seeds,
+                                            degree_anonymize,
+                                            naive_anonymize)
+from repro.extensions.inference import (attribute_inference_accuracy,
+                                        infer_attributes)
+from repro.extensions.resharing import ResharingSimulation
+from repro.extensions.sybil import (SybilAttack, degree_cut_detection,
+                                    inject_sybils)
+
+__all__ = [
+    "AdBroker", "AdClient", "Advertisement", "ResharingSimulation",
+    "SybilAttack", "TrackingAdServer", "attribute_inference_accuracy",
+    "deanonymize_by_seeds", "degree_anonymize", "degree_cut_detection",
+    "infer_attributes", "inject_sybils", "naive_anonymize",
+]

@@ -1,0 +1,164 @@
+"""Privacy-preserving advertising (Section VI open problem).
+
+"Another problem is to provide privacy preserving advertising for a service
+provider storing encrypted data of users in order to get income ...
+Although there has been some work on privacy preserving advertising systems
+[Privad, Adnostic], the development of business models ... needs to be
+investigated further."
+
+Implemented here is the Adnostic/Privad architecture the paper cites:
+
+* the broker pushes the *whole ad catalog* (or a broad-interest slice) to
+  every client;
+* the client matches ads against its interest profile **locally** — the
+  profile never leaves the device;
+* clicks/charges are reported through an unlinkable token (blind-signed by
+  the broker), so billing works without the broker learning who saw what.
+
+A :class:`TrackingAdServer` baseline (profile uploaded in the clear) makes
+the privacy difference measurable: experiment E9 compares targeting
+quality and broker knowledge across the two.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto import blind, rsa
+from repro.exceptions import ReproError, SignatureError
+
+_DEFAULT_RNG = _random.Random(0xAD5)
+
+
+@dataclass(frozen=True)
+class Advertisement:
+    """One ad: an id, targeting keywords, and a revenue weight."""
+
+    ad_id: str
+    keywords: Tuple[str, ...]
+    bid: float = 1.0
+
+
+@dataclass
+class AdBroker:
+    """The privacy-preserving broker: broadcasts ads, redeems blind tokens."""
+
+    catalog: List[Advertisement] = field(default_factory=list)
+    _key: rsa.RSAPrivateKey = field(
+        default_factory=lambda: rsa.generate_keypair(
+            512, rng=_random.Random(0xB111)))
+    redeemed: Set[bytes] = field(default_factory=set)
+    #: what the broker observes: only (token, ad) pairs — no user ids
+    click_log: List[Tuple[bytes, str]] = field(default_factory=list)
+
+    @property
+    def token_key(self) -> rsa.RSAPublicKey:
+        """Public key clients use to blind/verify click tokens."""
+        return self._key.public_key
+
+    def publish(self, ad: Advertisement) -> None:
+        """Add an ad to the broadcast catalog."""
+        self.catalog.append(ad)
+
+    def broadcast(self) -> List[Advertisement]:
+        """The catalog every client receives (identical for everyone)."""
+        return list(self.catalog)
+
+    def issue_click_token(self, blinded: int) -> int:
+        """Blind-sign a client's click token (unlinkable at redemption)."""
+        return blind.sign_blinded(self._key, blinded)
+
+    def redeem_click(self, token_message: bytes, token_signature: bytes,
+                     ad_id: str) -> bool:
+        """Accept a click report: valid signature, not double-spent."""
+        if not blind.verify(self.token_key, token_message, token_signature):
+            return False
+        if token_signature in self.redeemed:
+            return False  # double spend
+        self.redeemed.add(token_signature)
+        self.click_log.append((token_message, ad_id))
+        return True
+
+    def broker_knowledge(self) -> Dict[str, object]:
+        """Everything this broker ever learns about users."""
+        return {
+            "profiles_seen": 0,
+            "click_reports": len(self.click_log),
+            "linkable_to_users": False,
+        }
+
+
+class AdClient:
+    """A user device running local ad selection (Adnostic style)."""
+
+    def __init__(self, user: str, interests: Sequence[str],
+                 rng: Optional[_random.Random] = None) -> None:
+        self.user = user
+        self.interests = set(interests)
+        self.rng = rng or _DEFAULT_RNG
+
+    def select_ads(self, catalog: Sequence[Advertisement],
+                   count: int = 3) -> List[Advertisement]:
+        """Local matching: score by interest overlap x bid; profile stays
+        on-device."""
+        scored = sorted(
+            catalog,
+            key=lambda ad: (-len(self.interests & set(ad.keywords))
+                            * ad.bid, ad.ad_id))
+        return [ad for ad in scored[:count]
+                if self.interests & set(ad.keywords)]
+
+    def report_click(self, broker: AdBroker, ad: Advertisement) -> bool:
+        """Report a click through a fresh blind token."""
+        token_message = bytes(self.rng.getrandbits(8) for _ in range(16))
+        context = blind.blind(broker.token_key, token_message, self.rng)
+        try:
+            signature = context.unblind(
+                broker.issue_click_token(context.blinded))
+        except SignatureError:
+            return False
+        return broker.redeem_click(token_message, signature, ad.ad_id)
+
+
+class TrackingAdServer:
+    """The baseline: upload-your-profile targeted advertising."""
+
+    def __init__(self) -> None:
+        self.catalog: List[Advertisement] = []
+        #: the privacy cost, in one dict: every user's full profile
+        self.profiles: Dict[str, Set[str]] = {}
+        self.click_log: List[Tuple[str, str]] = []
+
+    def publish(self, ad: Advertisement) -> None:
+        """Add an ad to the inventory."""
+        self.catalog.append(ad)
+
+    def upload_profile(self, user: str, interests: Sequence[str]) -> None:
+        """What makes this 'tracking': the server stores the raw profile."""
+        self.profiles[user] = set(interests)
+
+    def select_ads(self, user: str, count: int = 3) -> List[Advertisement]:
+        """Server-side targeting with the stored profile."""
+        interests = self.profiles.get(user)
+        if interests is None:
+            raise ReproError(f"no profile uploaded for {user!r}")
+        scored = sorted(
+            self.catalog,
+            key=lambda ad: (-len(interests & set(ad.keywords)) * ad.bid,
+                            ad.ad_id))
+        return [ad for ad in scored[:count]
+                if interests & set(ad.keywords)]
+
+    def report_click(self, user: str, ad: Advertisement) -> None:
+        """Clicks are linked to the user forever."""
+        self.click_log.append((user, ad.ad_id))
+
+    def server_knowledge(self) -> Dict[str, object]:
+        """Everything this server learns (contrast with the broker)."""
+        return {
+            "profiles_seen": len(self.profiles),
+            "click_reports": len(self.click_log),
+            "linkable_to_users": True,
+        }

@@ -1,0 +1,176 @@
+"""OSN graph anonymization and de-anonymization (Section VI concern).
+
+"OSN providers publish their data for the research activities ... There
+should be an 'anonymized' way that lets the OSN providers publish these
+data sets ... Obtaining the anonymized data, one can reverse the
+anonymization process and identify the corresponding nodes (which is known
+as de-anonymization)."
+
+Implemented:
+
+* :func:`naive_anonymize`   — identifier removal only (the pre-2008
+  industry practice);
+* :func:`degree_anonymize`  — k-degree anonymity (Liu & Terzi style): add
+  edges until every degree value is shared by >= k nodes;
+* :func:`deanonymize_by_seeds` — the Narayanan–Shmatikov-style seed-based
+  re-identification attack: given a few known (real, anonymous) pairs,
+  propagate matches through common-neighbour counts.
+
+Experiment E9 measures re-identification rates against both defences —
+reproducing the field's finding that naive anonymization barely slows the
+attack down.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ReproError
+
+
+def naive_anonymize(graph: nx.Graph, seed: int = 0
+                    ) -> Tuple[nx.Graph, Dict[str, str]]:
+    """Replace node names with random ids; structure untouched.
+
+    Returns ``(anonymized graph, ground-truth mapping real -> anon)``.
+    """
+    rng = _random.Random(seed)
+    nodes = list(graph.nodes)
+    rng.shuffle(nodes)
+    mapping = {node: f"n{index:05d}" for index, node in enumerate(nodes)}
+    return nx.relabel_nodes(graph, mapping), {str(k): v
+                                              for k, v in mapping.items()}
+
+
+def degree_anonymize(graph: nx.Graph, k: int = 3, seed: int = 0
+                     ) -> Tuple[nx.Graph, Dict[str, str], int]:
+    """k-degree anonymity by edge addition, then identifier removal.
+
+    Greedy repair: while some degree value is held by fewer than ``k``
+    nodes, connect two under-represented nodes (preferring pairs that move
+    both toward a popular degree).  Returns the anonymized graph, the
+    ground-truth mapping, and the number of edges added (the utility cost).
+    """
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    rng = _random.Random(seed)
+    work = graph.copy()
+    added = 0
+    for _ in range(30):  # plan-and-wire passes
+        if is_k_degree_anonymous(work, k):
+            break
+        # Liu–Terzi-style planning: sort by degree descending, chunk into
+        # groups of >= k, raise everyone to their group's maximum degree.
+        ordered = sorted(work.nodes, key=lambda n: -work.degree(n))
+        targets: Dict = {}
+        index = 0
+        while index < len(ordered):
+            group = ordered[index:index + k]
+            if len(ordered) - (index + k) < k:
+                group = ordered[index:]  # merge the remainder
+            group_target = work.degree(group[0])
+            for node in group:
+                targets[node] = group_target
+            index += len(group)
+        # Wire deficits pairwise: each added edge satisfies two deficits.
+        deficits: List = []
+        for node, target in targets.items():
+            deficits.extend([node] * (target - work.degree(node)))
+        rng.shuffle(deficits)
+        while len(deficits) >= 2:
+            u = deficits.pop()
+            partner_index = next(
+                (i for i, v in enumerate(deficits)
+                 if v != u and not work.has_edge(u, v)), None)
+            if partner_index is None:
+                # no pairable deficit: connect to any non-neighbor and
+                # let the next planning pass absorb the perturbation
+                candidates = [n for n in work.nodes
+                              if n != u and not work.has_edge(u, n)]
+                if candidates:
+                    work.add_edge(u, rng.choice(candidates))
+                    added += 1
+                continue
+            v = deficits.pop(partner_index)
+            work.add_edge(u, v)
+            added += 1
+        if deficits:
+            u = deficits.pop()
+            candidates = [n for n in work.nodes
+                          if n != u and not work.has_edge(u, n)]
+            if candidates:
+                work.add_edge(u, rng.choice(candidates))
+                added += 1
+    anonymized, mapping = naive_anonymize(work, seed=seed + 1)
+    return anonymized, mapping, added
+
+
+def is_k_degree_anonymous(graph: nx.Graph, k: int) -> bool:
+    """Check the k-degree anonymity property."""
+    counts = Counter(d for _, d in graph.degree())
+    return all(count >= k for count in counts.values())
+
+
+def deanonymize_by_seeds(original: nx.Graph, anonymized: nx.Graph,
+                         seeds: Dict[str, str],
+                         rounds: int = 8) -> Dict[str, str]:
+    """Seed-and-propagate re-identification.
+
+    ``seeds`` maps a few known real nodes to their anonymized ids (the
+    auxiliary information a real attacker buys or scrapes).  Each round,
+    every unmatched real node is paired with the unmatched anonymous node
+    sharing the most already-matched neighbours; confident matches (>= 2
+    shared, unique argmax) are locked in and fuel the next round.
+
+    Returns the full predicted mapping (including the seeds).
+    """
+    matched: Dict[str, str] = dict(seeds)
+    reverse = {v: k for k, v in matched.items()}
+    for _ in range(rounds):
+        progress = False
+        unmatched_real = [n for n in original.nodes
+                          if str(n) not in matched]
+        unmatched_anon = {n for n in anonymized.nodes
+                          if n not in reverse}
+        for real in unmatched_real:
+            # anonymized ids of real's already-matched neighbours
+            anchor = {matched[str(n)] for n in original.neighbors(real)
+                      if str(n) in matched}
+            if len(anchor) < 2:
+                continue
+            scores = Counter()
+            for anon_anchor in anchor:
+                for candidate in anonymized.neighbors(anon_anchor):
+                    if candidate in unmatched_anon:
+                        scores[candidate] += 1
+            if not scores:
+                continue
+            ranked = scores.most_common(2)
+            best, best_score = ranked[0]
+            if best_score < 2:
+                continue
+            if len(ranked) > 1 and ranked[1][1] == best_score:
+                continue  # ambiguous: do not guess
+            matched[str(real)] = best
+            reverse[best] = str(real)
+            unmatched_anon.discard(best)
+            progress = True
+        if not progress:
+            break
+    return matched
+
+
+def reidentification_rate(truth: Dict[str, str],
+                          predicted: Dict[str, str],
+                          seeds: Dict[str, str]) -> float:
+    """Fraction of non-seed nodes correctly re-identified."""
+    scored = [real for real in predicted if real not in seeds]
+    if not scored:
+        return 0.0
+    correct = sum(1 for real in scored if truth.get(real)
+                  == predicted[real])
+    return correct / len(truth)

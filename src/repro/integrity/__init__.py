@@ -1,0 +1,38 @@
+"""Data integrity mechanisms (Section IV / Table I).
+
+The paper's four integrity aspects, each with its implementing module:
+
+=====================================  =====================================
+Aspect (party-invitation scenario)     Implementation
+=====================================  =====================================
+Integrity of data owner & content      :mod:`repro.integrity.envelope`
+Historical integrity (hash chaining)   :mod:`repro.integrity.hashchain`
+Historical integrity (cross-user)      :mod:`repro.integrity.entanglement`
+Historical integrity (fork consist.)   :mod:`repro.integrity.history_tree`
+Integrity of data relations            :mod:`repro.integrity.relations`
+=====================================  =====================================
+"""
+
+from repro.integrity.envelope import (MessageEnvelope, open_envelope, seal,
+                                      tampered_with)
+from repro.integrity.hashchain import (ChainEntry, OrderProof, Timeline,
+                                       TimelineView, order_proof,
+                                       verify_order_proof)
+from repro.integrity.entanglement import EntanglementGraph, cite
+from repro.integrity.history_tree import (FortClient, ForkEvidence,
+                                          ForkingServer, HistoryServer,
+                                          ObjectHistory, Operation,
+                                          SignedRoot)
+from repro.integrity.relations import (Comment, CommentablePost, create_post,
+                                       unwrap_signing_key, verify_comment,
+                                       write_comment)
+
+__all__ = [
+    "ChainEntry", "Comment", "CommentablePost", "EntanglementGraph",
+    "ForkEvidence", "ForkingServer", "FortClient", "HistoryServer",
+    "MessageEnvelope", "ObjectHistory", "Operation", "OrderProof",
+    "SignedRoot", "Timeline", "TimelineView", "cite", "create_post",
+    "open_envelope", "order_proof", "seal", "tampered_with",
+    "unwrap_signing_key", "verify_comment", "verify_order_proof",
+    "write_comment",
+]

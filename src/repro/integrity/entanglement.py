@@ -1,0 +1,110 @@
+"""Cross-timeline entanglement: provable order *between* users.
+
+Section IV-B of the paper: "Another solution is to establish a dependency
+between the timelines of different publishers.  In this solution, the
+publisher adds the hashes of prior events from other participants alongside
+using the digital signature.  In this way, a provable order between their
+messages will be established."
+
+A :class:`EntanglementGraph` ingests verified timelines and exposes the
+happened-before relation induced by (a) each author's own chain order and
+(b) citations of other authors' entry hashes.  Citations are only trusted
+after :meth:`verify_citations` confirms the cited hash matches the actual
+entry — a forged citation is a detectable integrity violation, not an edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.integrity.hashchain import ChainEntry
+from repro.exceptions import IntegrityError
+
+#: An entry is identified by (author, sequence).
+EntryRef = Tuple[str, int]
+
+
+class EntanglementGraph:
+    """The happened-before DAG over entries of many timelines."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[EntryRef, ChainEntry] = {}
+        #: ref -> set of refs known to have happened strictly before it
+        self._parents: Dict[EntryRef, Set[EntryRef]] = {}
+
+    def add_timeline(self, entries: Sequence[ChainEntry]) -> None:
+        """Ingest one author's (already signature-verified) timeline."""
+        for entry in entries:
+            ref = (entry.author, entry.sequence)
+            self._entries[ref] = entry
+            parents: Set[EntryRef] = set()
+            if entry.sequence > 0:
+                parents.add((entry.author, entry.sequence - 1))
+            self._parents[ref] = parents
+
+    def verify_citations(self) -> List[str]:
+        """Validate every citation; returns violation descriptions.
+
+        A valid citation — cited entry known and its hash matching — adds a
+        happened-before edge.  Invalid citations (unknown entry or hash
+        mismatch, i.e. a forged dependency) are reported, never edged.
+        """
+        violations: List[str] = []
+        for ref, entry in self._entries.items():
+            for cited_author, cited_seq, cited_hash in entry.citations:
+                cited_ref = (cited_author, cited_seq)
+                cited = self._entries.get(cited_ref)
+                if cited is None:
+                    violations.append(
+                        f"{ref} cites unknown entry {cited_ref}")
+                    continue
+                if cited.entry_hash() != cited_hash:
+                    violations.append(
+                        f"{ref} cites {cited_ref} with a forged hash")
+                    continue
+                self._parents[ref].add(cited_ref)
+        return violations
+
+    def happened_before(self, earlier: EntryRef, later: EntryRef) -> bool:
+        """Is there a provable dependency chain from ``earlier`` to ``later``?
+
+        BFS over the parent relation from ``later``; same-author entries are
+        ordered by their chain, cross-author entries only via verified
+        citations — entries with no connecting path are *concurrent*, which
+        is exactly the "partial" in provable partial order.
+        """
+        if earlier not in self._entries or later not in self._entries:
+            raise IntegrityError(f"unknown entry in query: {earlier}, {later}")
+        seen: Set[EntryRef] = set()
+        queue = deque([later])
+        while queue:
+            current = queue.popleft()
+            for parent in self._parents.get(current, ()):
+                if parent == earlier:
+                    return True
+                if parent not in seen:
+                    seen.add(parent)
+                    queue.append(parent)
+        return False
+
+    def concurrent(self, a: EntryRef, b: EntryRef) -> bool:
+        """Neither provably precedes the other."""
+        return not self.happened_before(a, b) \
+            and not self.happened_before(b, a)
+
+    def ancestors(self, ref: EntryRef) -> Set[EntryRef]:
+        """All entries provably before ``ref``."""
+        seen: Set[EntryRef] = set()
+        queue = deque([ref])
+        while queue:
+            for parent in self._parents.get(queue.popleft(), ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    queue.append(parent)
+        return seen
+
+
+def cite(entry: ChainEntry) -> Tuple[str, int, bytes]:
+    """Build a citation tuple for inclusion in another author's entry."""
+    return (entry.author, entry.sequence, entry.entry_hash())

@@ -1,0 +1,167 @@
+"""Hash-chained timelines: provable partial order of a user's posts.
+
+Section IV-B of the paper: "For the data history integrity, one solution is
+to use hash chaining alongside digital signature.  In this method, the
+digital signature must be applied on each entry published by a user, and
+includes the hash of at least one of his prior posts.  This causes a
+provable partial ordering for his posts" — the FETHR (birds-of-a-FETHR)
+micropublishing design.
+
+:class:`Timeline` is the author side (append + sign); :class:`TimelineView`
+is the follower side, which accepts entries in order, verifies the chain
+links and signatures, and can produce/check :func:`order_proof` — the
+chain segment showing entry ``i`` provably precedes entry ``j``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random as _random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import chain_hash, digest, digest_many
+from repro.crypto.signatures import SchnorrPublicKey, SchnorrSigner
+from repro.exceptions import IntegrityError
+
+#: The link value "before the first entry" of every timeline.
+GENESIS = digest(b"repro/hashchain/genesis")
+
+
+@dataclass(frozen=True)
+class ChainEntry:
+    """One signed timeline entry.
+
+    ``previous`` is the hash of the preceding entry (GENESIS for the
+    first); ``citations`` optionally carry hashes of *other users'* entries
+    for cross-timeline entanglement (see :mod:`repro.integrity.entanglement`).
+    """
+
+    author: str
+    sequence: int
+    previous: bytes
+    payload: bytes
+    citations: Tuple[Tuple[str, int, bytes], ...]
+    signature: Tuple[int, int]
+
+    def entry_hash(self) -> bytes:
+        """The value the *next* entry chains to (covers the signature too)."""
+        return digest_many([
+            self.author.encode(), self.sequence.to_bytes(8, "big"),
+            self.previous, self.payload,
+            *(f"{a}:{s}".encode() + h for a, s, h in self.citations),
+            repr(self.signature).encode(),
+        ])
+
+    def signed_bytes(self) -> bytes:
+        """What the author signed."""
+        return digest_many([
+            b"repro/hashchain/v1", self.author.encode(),
+            self.sequence.to_bytes(8, "big"), self.previous, self.payload,
+            *(f"{a}:{s}".encode() + h for a, s, h in self.citations),
+        ])
+
+
+class Timeline:
+    """Author-side append-only hash-chained log."""
+
+    def __init__(self, author: str, signer: SchnorrSigner) -> None:
+        self.author = author
+        self._signer = signer
+        self.entries: List[ChainEntry] = []
+
+    @property
+    def head_hash(self) -> bytes:
+        """Hash of the latest entry (GENESIS when empty)."""
+        return self.entries[-1].entry_hash() if self.entries else GENESIS
+
+    def publish(self, payload: bytes,
+                citations: Sequence[Tuple[str, int, bytes]] = (),
+                rng: Optional[_random.Random] = None) -> ChainEntry:
+        """Append a signed entry chaining to the current head."""
+        entry = ChainEntry(
+            author=self.author, sequence=len(self.entries),
+            previous=self.head_hash, payload=payload,
+            citations=tuple(citations),
+            signature=(0, 0))
+        signed = dataclasses.replace(
+            entry, signature=self._signer.sign(entry.signed_bytes(), rng=rng))
+        self.entries.append(signed)
+        return signed
+
+
+class TimelineView:
+    """Follower-side verified replica of one author's timeline."""
+
+    def __init__(self, author: str, author_key: SchnorrPublicKey) -> None:
+        self.author = author
+        self.author_key = author_key
+        self.entries: List[ChainEntry] = []
+
+    @property
+    def head_hash(self) -> bytes:
+        """Hash of the latest accepted entry."""
+        return self.entries[-1].entry_hash() if self.entries else GENESIS
+
+    def accept(self, entry: ChainEntry) -> None:
+        """Verify and append one entry; raises on any violation."""
+        if entry.author != self.author:
+            raise IntegrityError(
+                f"entry authored by {entry.author!r}, expected "
+                f"{self.author!r}")
+        if entry.sequence != len(self.entries):
+            raise IntegrityError(
+                f"sequence gap: got {entry.sequence}, expected "
+                f"{len(self.entries)} (missing or replayed entries)")
+        if entry.previous != self.head_hash:
+            raise IntegrityError(
+                "chain break: entry does not link to the current head "
+                "(history was rewritten or an entry was suppressed)")
+        if not self.author_key.verify(entry.signed_bytes(), entry.signature):
+            raise IntegrityError("entry signature does not verify")
+        self.entries.append(entry)
+
+    def accept_all(self, entries: Sequence[ChainEntry]) -> None:
+        """Accept a batch in order."""
+        for entry in entries:
+            self.accept(entry)
+
+
+@dataclass(frozen=True)
+class OrderProof:
+    """Evidence that entry ``earlier`` precedes ``later`` in one timeline.
+
+    The proof is the contiguous chain segment from ``earlier`` to ``later``;
+    a verifier needs only the author's public key — no trusted replica.
+    """
+
+    segment: Tuple[ChainEntry, ...]
+
+    @property
+    def earlier(self) -> ChainEntry:
+        return self.segment[0]
+
+    @property
+    def later(self) -> ChainEntry:
+        return self.segment[-1]
+
+
+def order_proof(entries: Sequence[ChainEntry], earlier_seq: int,
+                later_seq: int) -> OrderProof:
+    """Extract the chain segment proving ``earlier_seq < later_seq``."""
+    if not 0 <= earlier_seq < later_seq < len(entries):
+        raise IntegrityError("order proof needs earlier < later, in range")
+    return OrderProof(segment=tuple(entries[earlier_seq:later_seq + 1]))
+
+
+def verify_order_proof(proof: OrderProof,
+                       author_key: SchnorrPublicKey) -> bool:
+    """Check signatures and chain links along the proof segment."""
+    previous_hash: Optional[bytes] = None
+    for entry in proof.segment:
+        if not author_key.verify(entry.signed_bytes(), entry.signature):
+            return False
+        if previous_hash is not None and entry.previous != previous_hash:
+            return False
+        previous_hash = entry.entry_hash()
+    return len(proof.segment) >= 2

@@ -1,0 +1,28 @@
+"""Overlay substrates for DOSN architectures (Section II of the paper).
+
+One module per architecture class from the survey's taxonomy, all running
+on the deterministic simulator in :mod:`repro.overlay.simulator`:
+
+==================  =========================================================
+Architecture        Implementation
+==================  =========================================================
+Structured          :mod:`repro.overlay.chord`, :mod:`repro.overlay.kademlia`
+Semi-structured     :mod:`repro.overlay.superpeer` (Supernova)
+Unstructured        :mod:`repro.overlay.gossip` (flooding + push gossip)
+Hybrid              :mod:`repro.overlay.hybrid` (Cachet/Cuckoo DHT + caches)
+Server federation   :mod:`repro.overlay.federation` (Diaspora pods)
+==================  =========================================================
+
+Cross-cutting: :mod:`repro.overlay.churn` (session models) and
+:mod:`repro.overlay.replication` (placement policies, availability, and the
+"replicas are small providers" exposure accounting).
+"""
+
+from repro.overlay.network import Message, NetworkStats, SimNetwork, SimNode
+from repro.overlay.simulator import (Event, FixedLatency, Simulator,
+                                     UniformLatency)
+
+__all__ = [
+    "Event", "FixedLatency", "Message", "NetworkStats", "SimNetwork",
+    "SimNode", "Simulator", "UniformLatency",
+]

@@ -1,0 +1,300 @@
+"""Chord distributed hash table — the structured control overlay.
+
+Section II-B of the paper: "Most of the recent DOSNs use structured
+organization and distributed hash tables (DHTs) for the lookup service.
+Prpl, Peerson, Safebook and Cachet all utilize structured control overlay
+... queries will be resolved in a limited number of steps."
+
+Classic Chord (Stoica et al.) over the simulated network: an ``m``-bit
+identifier ring, finger tables for O(log n) iterative lookup, successor
+lists for fault tolerance, and key replication on the successor set.
+Lookups are *accounted* through :meth:`SimNetwork.rpc`, so experiment E5
+gets faithful hop and message counts, including retries around offline
+peers under churn.
+
+Both construction modes are provided: :meth:`ChordRing.build` computes
+exact routing state for a static peer set (what the lookup experiments
+use), and :meth:`ChordNode.join` + :meth:`ChordRing.stabilize_all`
+implement the incremental protocol (exercised by the tests to show the
+ring converges).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.overlay.network import SimNetwork, SimNode
+
+#: Identifier-space size in bits.
+M_BITS = 32
+_SPACE = 1 << M_BITS
+
+
+def chord_id(name: str) -> int:
+    """Hash a node name or content key onto the identifier ring."""
+    return int.from_bytes(
+        hashlib.sha256(b"repro/chord/" + name.encode()).digest()[:8],
+        "big") % _SPACE
+
+
+def in_interval(x: int, a: int, b: int, inclusive_right: bool = False) -> int:
+    """Ring-interval membership test ``x in (a, b)`` modulo 2^m."""
+    if a < b:
+        return a < x < b or (inclusive_right and x == b)
+    if a > b:  # interval wraps zero
+        return x > a or x < b or (inclusive_right and x == b)
+    # a == b: the interval is the whole ring minus the endpoint.
+    return x != a or inclusive_right
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one iterative lookup."""
+
+    owner: str
+    hops: int
+    rtt: float
+    failed_probes: int
+
+
+class ChordNode(SimNode):
+    """One Chord peer: routing state plus a local key-value store."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.chord_id = chord_id(name)
+        self.successors: List[str] = []   # successor list, nearest first
+        self.predecessor: Optional[str] = None
+        self.fingers: List[Optional[str]] = [None] * M_BITS
+        self.store: Dict[str, bytes] = {}
+
+    # -- routing-table reads (executed at the *queried* node) -----------------
+
+    def closest_preceding(self, key_id: int,
+                          ring: "ChordRing") -> Optional[str]:
+        """The best next hop: the closest live finger preceding ``key_id``."""
+        for finger in reversed(self.fingers):
+            if finger is None:
+                continue
+            node = ring.nodes.get(finger)
+            if node is None or not node.online:
+                continue
+            if in_interval(node.chord_id, self.chord_id, key_id):
+                return finger
+        for succ in self.successors:
+            node = ring.nodes.get(succ)
+            if node is not None and node.online \
+                    and in_interval(node.chord_id, self.chord_id, key_id):
+                return succ
+        return None
+
+    def first_live_successor(self, ring: "ChordRing") -> Optional[str]:
+        """The nearest online entry of the successor list."""
+        for succ in self.successors:
+            if ring.network.is_online(succ):
+                return succ
+        return None
+
+
+class ChordRing:
+    """A Chord overlay over a :class:`SimNetwork`."""
+
+    def __init__(self, network: SimNetwork, successor_list_size: int = 4,
+                 replication: int = 1) -> None:
+        if replication < 1:
+            raise OverlayError("replication factor must be >= 1")
+        self.network = network
+        self.successor_list_size = successor_list_size
+        self.replication = replication
+        self.nodes: Dict[str, ChordNode] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str) -> ChordNode:
+        """Register a peer (routing state filled by build/join)."""
+        node = ChordNode(name)
+        if node.chord_id in {n.chord_id for n in self.nodes.values()}:
+            raise OverlayError(
+                f"chord id collision for {name!r}; rename the node")
+        self.nodes[name] = node
+        self.network.register(node)
+        return node
+
+    def build(self) -> None:
+        """Compute exact fingers/successors for the current static peer set."""
+        ordered = sorted(self.nodes.values(), key=lambda n: n.chord_id)
+        n = len(ordered)
+        if n == 0:
+            return
+        ids = [node.chord_id for node in ordered]
+        for index, node in enumerate(ordered):
+            node.successors = [
+                ordered[(index + k + 1) % n].node_id
+                for k in range(min(self.successor_list_size, n - 1))
+            ] or [node.node_id]
+            node.predecessor = ordered[(index - 1) % n].node_id
+            for bit in range(M_BITS):
+                target = (node.chord_id + (1 << bit)) % _SPACE
+                node.fingers[bit] = ordered[self._successor_index(
+                    ids, target)].node_id
+
+    @staticmethod
+    def _successor_index(sorted_ids: Sequence[int], target: int) -> int:
+        """Index of the first id >= target (wrapping)."""
+        lo, hi = 0, len(sorted_ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if sorted_ids[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo % len(sorted_ids)
+
+    # -- the iterative lookup (experiment E5's workhorse) -----------------------
+
+    def owner_of(self, key: str) -> str:
+        """Ground truth: the online-agnostic responsible node for ``key``."""
+        ordered = sorted(self.nodes.values(), key=lambda n: n.chord_id)
+        ids = [node.chord_id for node in ordered]
+        return ordered[self._successor_index(ids, chord_id(key))].node_id
+
+    def lookup(self, start: str, key: str,
+               max_hops: int = 64) -> LookupResult:
+        """Iterative Chord lookup from ``start`` for ``key``.
+
+        Each routing step is one accounted RPC; offline peers cost a
+        timeout and a fallback probe, mirroring real retry behaviour.
+        """
+        key_id = chord_id(key)
+        current = self.nodes.get(start)
+        if current is None or not current.online:
+            raise LookupError_(f"start node {start!r} is not online")
+        hops = 0
+        rtt = 0.0
+        failed = 0
+        while hops < max_hops:
+            successor = current.first_live_successor(self)
+            if successor is None:
+                raise LookupError_(
+                    f"{current.node_id!r} has no live successor "
+                    "(ring partitioned)")
+            succ_node = self.nodes[successor]
+            if in_interval(key_id, current.chord_id, succ_node.chord_id,
+                           inclusive_right=True):
+                ok, t = self.network.rpc(current.node_id, successor,
+                                         kind="chord_final")
+                rtt += t
+                hops += 1
+                if ok:
+                    return LookupResult(owner=successor, hops=hops, rtt=rtt,
+                                        failed_probes=failed)
+                failed += 1
+                continue  # successor died mid-lookup; list advances
+            next_hop = current.closest_preceding(key_id, self)
+            if next_hop is None:
+                next_hop = successor
+            ok, t = self.network.rpc(current.node_id, next_hop,
+                                     kind="chord_step")
+            rtt += t
+            hops += 1
+            if ok:
+                current = self.nodes[next_hop]
+            else:
+                failed += 1
+        raise LookupError_(f"lookup for {key!r} exceeded {max_hops} hops")
+
+    # -- storage with successor-list replication ----------------------------------
+
+    def replica_set(self, key: str) -> List[str]:
+        """The ``replication`` nodes responsible for ``key``."""
+        owner = self.owner_of(key)
+        replicas = [owner]
+        node = self.nodes[owner]
+        for succ in node.successors:
+            if len(replicas) >= self.replication:
+                break
+            if succ not in replicas:
+                replicas.append(succ)
+        return replicas
+
+    def put(self, start: str, key: str, value: bytes) -> LookupResult:
+        """Route to the owner and store on the replica set."""
+        result = self.lookup(start, key)
+        for replica in self.replica_set(key):
+            self.nodes[replica].store[key] = value
+            if replica != result.owner:
+                self.network.rpc(result.owner, replica, kind="chord_replicate")
+        return result
+
+    def get(self, start: str, key: str) -> Tuple[bytes, LookupResult]:
+        """Route to the owner (or a live replica) and fetch."""
+        result = self.lookup(start, key)
+        for replica in [result.owner] + self.replica_set(key):
+            node = self.nodes.get(replica)
+            if node is not None and node.online and key in node.store:
+                if replica != result.owner:
+                    self.network.rpc(result.owner, replica,
+                                     kind="chord_replica_read")
+                return node.store[key], result
+        raise StorageError(
+            f"key {key!r} unavailable: no live replica holds it")
+
+    # -- incremental protocol (join / stabilize), used by the tests --------------
+
+    def join(self, name: str, via: str) -> ChordNode:
+        """Join a new peer through an existing one (successor via lookup)."""
+        node = self.add_node(name)
+        result = self.lookup(via, name)
+        node.successors = [result.owner]
+        node.fingers[0] = result.owner
+        return node
+
+    def stabilize_all(self, rounds: int = 1) -> None:
+        """Run the periodic stabilization on every node ``rounds`` times."""
+        for _ in range(rounds):
+            for node in list(self.nodes.values()):
+                if node.online:
+                    self._stabilize(node)
+            for node in list(self.nodes.values()):
+                if node.online:
+                    self._fix_fingers(node)
+
+    def _stabilize(self, node: ChordNode) -> None:
+        successor = node.first_live_successor(self)
+        if successor is None:
+            return
+        succ_node = self.nodes[successor]
+        pred = succ_node.predecessor
+        if pred is not None and self.network.is_online(pred):
+            pred_node = self.nodes[pred]
+            if in_interval(pred_node.chord_id, node.chord_id,
+                           succ_node.chord_id):
+                successor = pred
+                succ_node = pred_node
+        # notify
+        if succ_node.predecessor is None or not self.network.is_online(
+                succ_node.predecessor) or in_interval(
+                    node.chord_id,
+                    self.nodes[succ_node.predecessor].chord_id
+                    if succ_node.predecessor in self.nodes else 0,
+                    succ_node.chord_id):
+            succ_node.predecessor = node.node_id
+        # refresh successor list from the successor's list
+        merged = [successor] + [
+            s for s in succ_node.successors if s != node.node_id]
+        node.successors = merged[:self.successor_list_size]
+        self.network.rpc(node.node_id, successor, kind="chord_stabilize")
+
+    def _fix_fingers(self, node: ChordNode) -> None:
+        ordered = sorted((n for n in self.nodes.values() if n.online),
+                         key=lambda n: n.chord_id)
+        ids = [n.chord_id for n in ordered]
+        if not ordered:
+            return
+        for bit in range(M_BITS):
+            target = (node.chord_id + (1 << bit)) % _SPACE
+            node.fingers[bit] = ordered[
+                self._successor_index(ids, target)].node_id

@@ -1,0 +1,149 @@
+"""Churn models: when are peers online?
+
+Section I of the paper: "The main obstacle of decentralization is that users
+are responsible for their data availability.  Users, their friends, or
+other peers need to be online for better availability."  Experiment E6
+sweeps replication policies against the session processes defined here.
+
+All models expose the same two-method interface:
+
+* ``online_at(peer, t)``     — deterministic boolean given the model seed;
+* ``uptime_fraction(peer)``  — long-run availability of the peer.
+
+Determinism matters: availability is then a pure function of (seed, time),
+so experiments are exactly repeatable and the *same* schedule can be
+re-queried by the replication layer and by the ground-truth evaluator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import SimulationError
+
+
+def _peer_rng(seed: int, peer: str) -> _random.Random:
+    digest = hashlib.sha256(f"repro/churn/{seed}/{peer}".encode()).digest()
+    return _random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass
+class AlwaysOn:
+    """The degenerate no-churn model (the centralized-provider assumption)."""
+
+    def online_at(self, peer: str, t: float) -> bool:
+        """Always True."""
+        return True
+
+    def uptime_fraction(self, peer: str) -> float:
+        """Always 1.0."""
+        return 1.0
+
+
+@dataclass
+class ExponentialOnOff:
+    """Alternating exponential on/off sessions (classic P2P churn).
+
+    Each peer draws an independent session schedule from the seed; mean
+    session/gap lengths may be heterogeneous via ``spread`` (peers get a
+    multiplier log-uniform in ``[1/spread, spread]``).
+    """
+
+    mean_online: float = 3600.0
+    mean_offline: float = 7200.0
+    seed: int = 0
+    spread: float = 4.0
+    horizon: float = 7 * 24 * 3600.0
+    _schedules: Dict[str, List[Tuple[float, float]]] = field(
+        default_factory=dict, repr=False)
+
+    def _schedule(self, peer: str) -> List[Tuple[float, float]]:
+        """The peer's (start, end) online intervals up to the horizon."""
+        cached = self._schedules.get(peer)
+        if cached is not None:
+            return cached
+        rng = _peer_rng(self.seed, peer)
+        factor = math.exp(rng.uniform(-math.log(self.spread),
+                                      math.log(self.spread)))
+        intervals: List[Tuple[float, float]] = []
+        t = rng.expovariate(1.0 / self.mean_offline)
+        while t < self.horizon:
+            up = rng.expovariate(1.0 / (self.mean_online * factor))
+            intervals.append((t, min(t + up, self.horizon)))
+            t += up + rng.expovariate(1.0 / self.mean_offline)
+        self._schedules[peer] = intervals
+        return intervals
+
+    def online_at(self, peer: str, t: float) -> bool:
+        """Whether the peer's schedule covers time ``t``."""
+        if not 0 <= t <= self.horizon:
+            raise SimulationError(f"time {t} outside churn horizon")
+        return any(start <= t < end for start, end in self._schedule(peer))
+
+    def uptime_fraction(self, peer: str) -> float:
+        """Measured online share over the horizon."""
+        total = sum(end - start for start, end in self._schedule(peer))
+        return total / self.horizon
+
+    def sessions(self, peer: str) -> List[Tuple[float, float]]:
+        """The raw session intervals (for session-length statistics)."""
+        return list(self._schedule(peer))
+
+
+@dataclass
+class DiurnalChurn:
+    """Day-night availability: a sinusoidal online probability per hour.
+
+    Peers get a random timezone phase and a personal base availability.
+    ``online_at`` thins a per-hour Bernoulli draw deterministically from
+    the seed, giving correlated day/night patterns across the population —
+    the worst case for friend-based replication (friends share timezones:
+    ``phase_correlation`` pulls phases toward a common value).
+    """
+
+    base: float = 0.45
+    amplitude: float = 0.35
+    seed: int = 0
+    phase_correlation: float = 0.0
+
+    def _phase(self, peer: str) -> float:
+        rng = _peer_rng(self.seed, peer)
+        own = rng.uniform(0, 24)
+        return (1 - self.phase_correlation) * own
+
+    def online_probability(self, peer: str, t: float) -> float:
+        """P(online) at virtual time ``t`` seconds."""
+        hour = (t / 3600.0 + self._phase(peer)) % 24
+        level = self.base + self.amplitude * math.sin(
+            2 * math.pi * (hour - 6) / 24)
+        return min(0.99, max(0.01, level))
+
+    def online_at(self, peer: str, t: float) -> bool:
+        """Deterministic Bernoulli draw per (peer, hour-slot)."""
+        slot = int(t // 3600)
+        digest = hashlib.sha256(
+            f"repro/diurnal/{self.seed}/{peer}/{slot}".encode()).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return u < self.online_probability(peer, t)
+
+    def uptime_fraction(self, peer: str) -> float:
+        """Average of the daily probability curve."""
+        return sum(self.online_probability(peer, h * 3600.0)
+                   for h in range(24)) / 24.0
+
+
+def apply_churn_to_network(network, model, t: float) -> int:
+    """Flip every registered node's ``online`` flag per the model at ``t``.
+
+    Returns the number of online nodes; used by lookup-under-churn
+    experiments to snapshot availability before issuing queries.
+    """
+    online = 0
+    for node in network.nodes.values():
+        node.online = model.online_at(node.node_id, t)
+        online += int(node.online)
+    return online

@@ -1,0 +1,130 @@
+"""Hybrid overlays: DHT base + social caching (Cachet / Cuckoo).
+
+Section II-B of the paper: "As the storage overlay, Cachet uses hybrid
+structured-unstructured overlay using a DHT-based approach together with
+gossip-based caching to achieve high performance" and "The hybrid control
+overlay of Cuckoo uses structured lookup for finding rare items, whereas,
+the unstructured lookup helps with the fast discovery of popular items."
+
+:class:`HybridOverlay` composes a :class:`~repro.overlay.chord.ChordRing`
+with per-peer social caches: a fetch first polls the requester's social
+neighbours (one cheap RPC each, unstructured phase) and falls back to the
+DHT lookup (structured phase) on a miss, then caches the result locally so
+popularity breeds cache hits.  Experiment E5's "popular vs. rare" series
+comes straight from here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.overlay.chord import ChordRing, LookupResult
+from repro.overlay.network import SimNetwork
+
+
+@dataclass
+class HybridFetchResult:
+    """Outcome of one hybrid fetch."""
+
+    value: bytes
+    source: str          # "cache" (social phase) or "dht"
+    rpcs: int
+    rtt: float
+
+
+class _LRUCache:
+    """A bounded per-peer content cache."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._items: "OrderedDict[str, bytes]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[bytes]:
+        value = self._items.get(key)
+        if value is not None:
+            self._items.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: bytes) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        while len(self._items) > self.capacity:
+            self._items.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class HybridOverlay:
+    """Chord storage + social-neighbour caches."""
+
+    def __init__(self, network: SimNetwork, graph: nx.Graph,
+                 cache_capacity: int = 32, probe_limit: int = 5,
+                 replication: int = 2) -> None:
+        self.network = network
+        self.graph = graph
+        self.probe_limit = probe_limit
+        self.ring = ChordRing(network, replication=replication)
+        self.caches: Dict[str, _LRUCache] = {}
+        for name in graph.nodes:
+            self.ring.add_node(str(name))
+            self.caches[str(name)] = _LRUCache(cache_capacity)
+        self.ring.build()
+        self.cache_hits = 0
+        self.dht_fetches = 0
+
+    def neighbors(self, name: str) -> List[str]:
+        """Social neighbours of a peer."""
+        return [str(n) for n in self.graph.neighbors(name)]
+
+    def publish(self, author: str, key: str, value: bytes) -> LookupResult:
+        """Store in the DHT and seed the author's own cache."""
+        result = self.ring.put(author, key, value)
+        self.caches[author].put(key, value)
+        return result
+
+    def fetch(self, reader: str, key: str) -> HybridFetchResult:
+        """Unstructured phase (neighbour caches) then structured fallback."""
+        if reader not in self.caches:
+            raise OverlayError(f"unknown peer {reader!r}")
+        own = self.caches[reader].get(key)
+        if own is not None:
+            self.cache_hits += 1
+            return HybridFetchResult(value=own, source="cache", rpcs=0,
+                                     rtt=0.0)
+        rpcs = 0
+        rtt = 0.0
+        for neighbor in self.neighbors(reader)[:self.probe_limit]:
+            ok, t = self.network.rpc(reader, neighbor, kind="hybrid_probe")
+            rpcs += 1
+            rtt += t
+            if not ok:
+                continue
+            cached = self.caches[neighbor].get(key)
+            if cached is not None:
+                self.caches[reader].put(key, cached)
+                self.cache_hits += 1
+                return HybridFetchResult(value=cached, source="cache",
+                                         rpcs=rpcs, rtt=rtt)
+        try:
+            value, lookup = self.ring.get(reader, key)
+        except (LookupError_, StorageError):
+            raise
+        self.caches[reader].put(key, value)
+        self.dht_fetches += 1
+        return HybridFetchResult(value=value, source="dht",
+                                 rpcs=rpcs + lookup.hops,
+                                 rtt=rtt + lookup.rtt)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of fetches served from the unstructured phase."""
+        total = self.cache_hits + self.dht_fetches
+        return self.cache_hits / total if total else 0.0

@@ -1,0 +1,178 @@
+"""Simulated message-passing network and peer base class.
+
+Two communication styles, matching how the overlay protocols are written:
+
+* **asynchronous messages** — :meth:`SimNetwork.send` schedules delivery of
+  a :class:`Message` to the destination's ``on_<kind>`` handler after a
+  latency sample (gossip and churn-driven protocols use this);
+* **accounted RPC** — :meth:`SimNetwork.rpc` models a synchronous
+  request/response against an online peer: it charges two messages and one
+  round trip to the statistics and returns immediately (the iterative DHT
+  lookups use this — the classic simulation shortcut that preserves hop and
+  message counts without continuation-passing every protocol step).
+
+Every message is counted in :class:`NetworkStats`, which experiments E5-E7
+read for their message-cost series.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.exceptions import OverlayError, SimulationError
+from repro.overlay.simulator import Simulator, UniformLatency
+
+
+@dataclass
+class Message:
+    """An overlay message: a kind tag plus an arbitrary payload dict."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def size_estimate(self) -> int:
+        """Crude byte-size estimate for bandwidth accounting."""
+        return 64 + sum(len(str(k)) + len(str(v))
+                        for k, v in self.payload.items())
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages: int = 0
+    bytes: int = 0
+    drops: int = 0
+    timeouts: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def reset(self) -> None:
+        """Zero everything (benchmarks call between phases)."""
+        self.messages = 0
+        self.bytes = 0
+        self.drops = 0
+        self.timeouts = 0
+        self.by_kind.clear()
+
+
+class SimNode:
+    """Base class for simulated peers.
+
+    Subclasses implement ``on_<kind>(message)`` handlers for async traffic.
+    ``online`` gates both delivery and RPC reachability — churn models flip
+    it via :meth:`go_online` / :meth:`go_offline`.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        self.online = True
+        self.network: Optional["SimNetwork"] = None
+
+    def attach(self, network: "SimNetwork") -> None:
+        """Called by the network on registration."""
+        self.network = network
+
+    def go_online(self) -> None:
+        """Bring the peer up (hook for subclasses to re-sync state)."""
+        self.online = True
+
+    def go_offline(self) -> None:
+        """Take the peer down; in-flight messages to it will be dropped."""
+        self.online = False
+
+    def handle_message(self, message: Message) -> None:
+        """Dispatch to ``on_<kind>``; unknown kinds raise."""
+        handler = getattr(self, f"on_{message.kind}", None)
+        if handler is None:
+            raise OverlayError(
+                f"{type(self).__name__} has no handler for "
+                f"{message.kind!r}")
+        handler(message)
+
+
+class SimNetwork:
+    """The message fabric connecting :class:`SimNode` peers."""
+
+    def __init__(self, sim: Simulator, latency: Optional[Any] = None,
+                 loss_rate: float = 0.0) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise SimulationError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or UniformLatency()
+        self.loss_rate = loss_rate
+        self.nodes: Dict[str, SimNode] = {}
+        self.stats = NetworkStats()
+        self._rng = sim.split_rng("network")
+
+    def register(self, node: SimNode) -> None:
+        """Add a peer to the fabric."""
+        if node.node_id in self.nodes:
+            raise OverlayError(f"duplicate node id {node.node_id!r}")
+        self.nodes[node.node_id] = node
+        node.attach(self)
+
+    def node(self, node_id: str) -> SimNode:
+        """Look up a registered peer."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise OverlayError(f"unknown node {node_id!r}")
+
+    def is_online(self, node_id: str) -> bool:
+        """Whether the peer exists and is currently up."""
+        node = self.nodes.get(node_id)
+        return node is not None and node.online
+
+    # -- asynchronous messaging ------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Queue delivery of ``message`` after a latency sample.
+
+        Messages to offline/unknown peers or lost to the loss process are
+        counted as drops; the sender is not notified (UDP semantics — the
+        protocols on top implement their own retries where they need them).
+        """
+        self.stats.messages += 1
+        self.stats.bytes += message.size_estimate()
+        self.stats.by_kind[message.kind] += 1
+        if self._rng.random() < self.loss_rate:
+            self.stats.drops += 1
+            return
+        delay = self.latency.sample(self._rng, message.src, message.dst)
+
+        def deliver() -> None:
+            node = self.nodes.get(message.dst)
+            if node is None or not node.online:
+                self.stats.drops += 1
+                return
+            node.handle_message(message)
+
+        self.sim.schedule(delay, deliver)
+
+    # -- accounted synchronous RPC ------------------------------------------------
+
+    def rpc(self, src: str, dst: str, kind: str = "rpc",
+            payload_size: int = 64) -> Tuple[bool, float]:
+        """Model one request/response round trip.
+
+        Returns ``(reachable, rtt)``.  An offline destination costs the
+        request message plus a timeout (charged as latency at the high end)
+        so failed probes are not free — matching how real iterative lookups
+        pay for dead fingers.
+        """
+        self.stats.by_kind[kind] += 1
+        out = self.latency.sample(self._rng, src, dst)
+        if not self.is_online(dst) or self._rng.random() < self.loss_rate:
+            self.stats.messages += 1
+            self.stats.bytes += payload_size
+            self.stats.timeouts += 1
+            return (False, 4 * out)  # timeout ~ a few RTTs
+        back = self.latency.sample(self._rng, dst, src)
+        self.stats.messages += 2
+        self.stats.bytes += 2 * payload_size
+        return (True, out + back)

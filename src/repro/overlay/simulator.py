@@ -1,0 +1,126 @@
+"""Deterministic discrete-event simulator for single-host peer experiments.
+
+The paper's DOSNs (PeerSoN, Safebook, Cachet, Supernova, Cuckoo, ...) were
+deployed over real networks; per the calibration note ("simulate peers on
+one host") this module provides the substitute substrate: a classic
+event-queue simulator with virtual time, so thousands of peers run in one
+process with reproducible results.
+
+Design points:
+
+* all randomness comes from the simulator's seeded :class:`random.Random`
+  (or RNGs split from it via :meth:`Simulator.split_rng`), so every
+  experiment is a pure function of its seed;
+* events at equal timestamps fire in schedule order (a monotone sequence
+  number breaks ties), which removes heap nondeterminism;
+* :class:`Event` handles support cancellation (needed by churn timers).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random as _random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; comparable by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (O(1); lazily removed)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A virtual clock plus an event queue."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = _random.Random(seed)
+        self._queue: List[Event] = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past ({delay})")
+        event = Event(time=self.now + delay, sequence=self._sequence,
+                      callback=callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule at an absolute virtual time."""
+        return self.schedule(when - self.now, callback)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, ``until`` passes, or
+        ``max_events`` fire.  Returns the number of events processed."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:  # pragma: no cover - heap invariant
+                raise SimulationError("event queue went backwards")
+            self.now = event.time
+            event.callback()
+            processed += 1
+            self.events_processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def split_rng(self, label: str) -> _random.Random:
+        """An independent deterministic RNG derived from the seed + label.
+
+        Use one per subsystem so adding randomness in one place does not
+        perturb another's stream (the classic simulation-reproducibility
+        trap).
+        """
+        return _random.Random(f"{self.rng.random()}/{label}")
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._queue)
+
+
+@dataclass
+class UniformLatency:
+    """Link latency drawn uniformly from ``[low, high]`` per message."""
+
+    low: float = 0.010
+    high: float = 0.100
+
+    def sample(self, rng: _random.Random, src: Any, dst: Any) -> float:
+        """A latency sample for one message from ``src`` to ``dst``."""
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class FixedLatency:
+    """Constant link latency (useful for hop-count-only experiments)."""
+
+    value: float = 0.050
+
+    def sample(self, rng: _random.Random, src: Any, dst: Any) -> float:
+        """Always :attr:`value`."""
+        return self.value

@@ -1,0 +1,39 @@
+"""Secure social search (Section V / Table I).
+
+One module per security concern from the paper's classification:
+
+==============================  ==========================================
+Table I row                     Implementation
+==============================  ==========================================
+Content privacy                 :mod:`repro.search.blind_subscribe` (blind
+                                signatures), blinded :mod:`repro.search.index`
+Privacy of searcher             :mod:`repro.search.proxy` (aliases + the
+                                collusion attack),
+                                :mod:`repro.search.friend_routing`
+                                (Safebook matryoshka),
+                                :mod:`repro.search.zkp_access`
+                                (pseudonyms + ZKP)
+Privacy of searched data owner  :mod:`repro.search.handlers` (resource
+                                handlers, owner approval)
+Trusted search result           :mod:`repro.search.trust` (trust-chain
+                                ranking with popularity)
+==============================  ==========================================
+"""
+
+from repro.search.blind_subscribe import BlindPublisher, BlindSubscriber
+from repro.search.friend_routing import Matryoshka, RoutedRequest
+from repro.search.handlers import (DataOwner, HandlerDirectory,
+                                   friends_only_policy)
+from repro.search.index import SearchIndex, blind_term, tokenize
+from repro.search.proxy import AliasProxy, collude
+from repro.search.trust import RankedResult, best_trust_chain, rank_results
+from repro.search.zkp_access import (AccessGuard, PseudonymousSearcher,
+                                     ResourceOwner)
+
+__all__ = [
+    "AccessGuard", "AliasProxy", "BlindPublisher", "BlindSubscriber",
+    "DataOwner", "HandlerDirectory", "Matryoshka", "PseudonymousSearcher",
+    "RankedResult", "ResourceOwner", "RoutedRequest", "SearchIndex",
+    "best_trust_chain", "blind_term", "collude", "friends_only_policy",
+    "rank_results", "tokenize",
+]

@@ -1,0 +1,88 @@
+"""Keyword search index with optional content blinding.
+
+The substrate for Section V: somebody has to map keywords to content.  The
+index host (a provider, super-peer or DHT node) is honest-but-curious, so
+*what the index physically contains* determines content privacy:
+
+* ``plaintext`` mode — posting lists keyed by raw keywords: full
+  functionality, zero content privacy (the host learns every term and every
+  searcher's interests);
+* ``blinded`` mode — keys are HMAC tags of keywords under a secret shared
+  by the social circle: the host matches opaque tags (exact-match search
+  still works inside the circle) and learns nothing about the terms.
+
+Experiment E7 uses :meth:`SearchIndex.host_view` to quantify the leak.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.hashing import hmac_sha256
+from repro.exceptions import SearchError
+
+_TOKEN_RE = re.compile(r"[a-z0-9#]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase word/hashtag tokens of a document."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def blind_term(secret: bytes, term: str) -> str:
+    """The opaque tag a blinded index stores instead of the term."""
+    return hmac_sha256(secret, term.encode())[:16].hex()
+
+
+@dataclass
+class SearchIndex:
+    """An inverted index mapping (possibly blinded) terms to content ids."""
+
+    blinding_secret: Optional[bytes] = None
+    postings: Dict[str, List[str]] = field(default_factory=dict)
+    documents: int = 0
+
+    @property
+    def blinded(self) -> bool:
+        """Whether the host sees tags rather than terms."""
+        return self.blinding_secret is not None
+
+    def _key(self, term: str) -> str:
+        if self.blinding_secret is not None:
+            return blind_term(self.blinding_secret, term)
+        return term
+
+    def add_document(self, cid: str, text: str) -> int:
+        """Index a document; returns the number of distinct terms added."""
+        terms = set(tokenize(text))
+        for term in terms:
+            postings = self.postings.setdefault(self._key(term), [])
+            if cid not in postings:
+                postings.append(cid)
+        self.documents += 1
+        return len(terms)
+
+    def search(self, query: str) -> List[str]:
+        """Content ids matching *all* query terms (conjunctive search)."""
+        terms = tokenize(query)
+        if not terms:
+            raise SearchError("empty query")
+        result: Optional[Set[str]] = None
+        for term in terms:
+            postings = set(self.postings.get(self._key(term), ()))
+            result = postings if result is None else result & postings
+        return sorted(result or ())
+
+    def host_view(self) -> Dict[str, int]:
+        """What the index host observes: term/tag -> posting-list length.
+
+        In plaintext mode the keys are the users' actual vocabulary; in
+        blinded mode they are uniform 16-hex tags.
+        """
+        return {key: len(postings) for key, postings in self.postings.items()}
+
+    def vocabulary_leaked(self) -> bool:
+        """Does the host's view contain human-readable terms?"""
+        return not self.blinded and bool(self.postings)

@@ -1,0 +1,156 @@
+"""Pseudonymous search with zero-knowledge access proofs (Section V-B).
+
+"A user can use a pseudonym while searching in the network, and when (s)he
+wants to reach a content belonging to another person, (s)he uses ZKP to
+prove having privileges to access" — the Backes–Maffei–Pecina security API.
+
+Mechanics: the content owner issues an *access credential* for a resource —
+a secret exponent ``x`` whose public image ``y = g^x`` is attached to the
+resource.  A searcher operating under a throwaway pseudonym proves
+knowledge of ``x`` with a Fiat–Shamir NIZK bound to (resource id,
+pseudonym, nonce).  The guard learns: the pseudonym, and that it is
+authorized.  It does NOT learn which real user is asking, and proofs from
+different sessions are unlinkable (fresh pseudonym + fresh proof
+randomness).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.groups import SchnorrGroup, group_for_level
+from repro.crypto.zkp import DlogProof, prove_dlog_nizk, verify_dlog_nizk
+from repro.exceptions import AccessDeniedError, SearchError
+
+_DEFAULT_RNG = _random.Random(0x2CE55)
+
+
+@dataclass(frozen=True)
+class AccessCredential:
+    """The secret a privileged user holds for one resource."""
+
+    resource_id: str
+    x: int
+
+
+@dataclass
+class GuardedResource:
+    """A resource plus the public image of its access credential."""
+
+    resource_id: str
+    content: bytes
+    y: int  # g^x — anyone can see this; only credential holders know x
+
+
+class ResourceOwner:
+    """Issues credentials and hosts guarded resources."""
+
+    def __init__(self, name: str, level: str = "TOY",
+                 rng: Optional[_random.Random] = None) -> None:
+        self.name = name
+        self.group: SchnorrGroup = group_for_level(level)
+        self.rng = rng or _DEFAULT_RNG
+        self.resources: Dict[str, GuardedResource] = {}
+        self._secrets: Dict[str, int] = {}
+
+    def publish(self, resource_id: str, content: bytes) -> GuardedResource:
+        """Create a guarded resource with a fresh credential secret."""
+        x = self.group.random_scalar(self.rng)
+        self._secrets[resource_id] = x
+        resource = GuardedResource(resource_id=resource_id, content=content,
+                                   y=self.group.exp(x))
+        self.resources[resource_id] = resource
+        return resource
+
+    def issue_credential(self, resource_id: str) -> AccessCredential:
+        """Hand the secret to an authorized user (out-of-band)."""
+        try:
+            return AccessCredential(resource_id=resource_id,
+                                    x=self._secrets[resource_id])
+        except KeyError:
+            raise SearchError(f"no resource {resource_id!r}")
+
+
+@dataclass
+class AccessRequest:
+    """What travels to the guard: pseudonym, resource, nonce, proof."""
+
+    pseudonym: str
+    resource_id: str
+    nonce: int
+    proof: DlogProof
+
+
+class AccessGuard:
+    """Verifies ZKP access requests without learning identities.
+
+    Nonce replay is rejected (a captured proof cannot be reused) and every
+    granted request is logged — the log is what E7 inspects to show the
+    guard's view contains only unlinkable pseudonyms.
+    """
+
+    def __init__(self, owner: ResourceOwner) -> None:
+        self.owner = owner
+        self.group = owner.group
+        self._seen_nonces: Set[Tuple[str, int]] = set()
+        self.grant_log: List[Tuple[str, str]] = []  # (pseudonym, resource)
+
+    def request_context(self, resource_id: str, pseudonym: str,
+                        nonce: int) -> bytes:
+        """The context bytes binding a proof to one request."""
+        return f"{resource_id}|{pseudonym}|{nonce}".encode()
+
+    def handle(self, request: AccessRequest) -> bytes:
+        """Verify and serve; raises :class:`AccessDeniedError` otherwise."""
+        resource = self.owner.resources.get(request.resource_id)
+        if resource is None:
+            raise SearchError(f"no resource {request.resource_id!r}")
+        replay_key = (request.pseudonym, request.nonce)
+        if replay_key in self._seen_nonces:
+            raise AccessDeniedError("replayed access proof")
+        context = self.request_context(request.resource_id,
+                                       request.pseudonym, request.nonce)
+        if not verify_dlog_nizk(self.group, resource.y, request.proof,
+                                context):
+            raise AccessDeniedError(
+                f"pseudonym {request.pseudonym!r} failed the access proof "
+                f"for {request.resource_id!r}")
+        self._seen_nonces.add(replay_key)
+        self.grant_log.append((request.pseudonym, request.resource_id))
+        return resource.content
+
+
+class PseudonymousSearcher:
+    """A user who accesses resources under fresh unlinkable pseudonyms."""
+
+    def __init__(self, real_name: str, level: str = "TOY",
+                 rng: Optional[_random.Random] = None) -> None:
+        self.real_name = real_name  # never leaves this object
+        self.group = group_for_level(level)
+        self.rng = rng or _DEFAULT_RNG
+        self.credentials: Dict[str, AccessCredential] = {}
+
+    def receive_credential(self, credential: AccessCredential) -> None:
+        """Store a credential obtained out-of-band from the owner."""
+        self.credentials[credential.resource_id] = credential
+
+    def fresh_pseudonym(self) -> str:
+        """A throwaway session identity."""
+        return f"pseud-{self.rng.getrandbits(48):012x}"
+
+    def access(self, guard: AccessGuard, resource_id: str) -> bytes:
+        """Build a bound NIZK and fetch the resource pseudonymously."""
+        credential = self.credentials.get(resource_id)
+        if credential is None:
+            raise AccessDeniedError(
+                f"{self.real_name!r} holds no credential for "
+                f"{resource_id!r}")
+        pseudonym = self.fresh_pseudonym()
+        nonce = self.rng.getrandbits(64)
+        context = guard.request_context(resource_id, pseudonym, nonce)
+        proof = prove_dlog_nizk(self.group, credential.x, context, self.rng)
+        return guard.handle(AccessRequest(
+            pseudonym=pseudonym, resource_id=resource_id, nonce=nonce,
+            proof=proof))

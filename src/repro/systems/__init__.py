@@ -1,0 +1,40 @@
+"""Runnable models of the DOSNs the survey discusses by name.
+
+Each module composes the substrate packages into the architecture of one
+surveyed system, reproducing its defining mechanism:
+
+==============  ==============================================================
+System          Defining composition
+==============  ==============================================================
+PeerSoN [16]    DHT lookup + public-key wrapped content + asynchronous DHT
+                mailboxes (:mod:`repro.systems.peerson`)
+Safebook [17]   matryoshka friend rings for anonymity + innermost-shell
+                mirrors for availability (:mod:`repro.systems.safebook`)
+Cachet [18]     hybrid DHT/gossip-cache overlay + CP-ABE hybrid encryption
+                + per-post comment keys (:mod:`repro.systems.cachet`)
+Supernova [20]  super-peer index + uptime-tracked storekeeper agreements
+                (:mod:`repro.systems.supernova`)
+Diaspora [4]    pod federation + per-aspect symmetric keys with rotation
+                (:mod:`repro.systems.diaspora`)
+Cuckoo [22]     follower-push (unstructured) + DHT-pull (structured)
+                microblogging (:mod:`repro.systems.cuckoo`)
+Prpl [15]       per-user butler federating unstructured device storage,
+                butlers in a structured ring (:mod:`repro.systems.prpl`)
+==============  ==============================================================
+
+flyByNight [10] lives in :mod:`repro.acl.flybynight` (it is a centralized-
+OSN retrofit, not a DOSN) and Persona [14] in :mod:`repro.acl.persona`.
+"""
+
+from repro.systems.cachet import CachetNetwork
+from repro.systems.cuckoo import CuckooNetwork
+from repro.systems.diaspora import DiasporaNetwork
+from repro.systems.peerson import PeersonNetwork
+from repro.systems.prpl import PrplNetwork
+from repro.systems.safebook import SafebookNetwork
+from repro.systems.supernova import SupernovaNetwork
+
+__all__ = [
+    "CachetNetwork", "CuckooNetwork", "DiasporaNetwork", "PeersonNetwork",
+    "PrplNetwork", "SafebookNetwork", "SupernovaNetwork",
+]

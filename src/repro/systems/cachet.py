@@ -1,0 +1,164 @@
+"""Cachet: decentralized privacy-preserving social networking with caching.
+
+As the paper describes it (Nilizadeh et al.): Cachet "uses hybrid
+structured-unstructured overlay using a DHT-based approach together with
+gossip-based caching to achieve high performance" (Section II-B), protects
+content with "a hybrid scheme of symmetric key encryption and CP-ABE"
+(Section III-F), and binds comments to posts with per-post signing keys
+(Section IV-C).
+
+Composition: :class:`~repro.overlay.hybrid.HybridOverlay` (DHT + social
+caches) carries ciphertext; a per-user CP-ABE authority protects the
+content keys under attribute policies; per-post comment keys are wrapped
+for the commenter audience exactly as :mod:`repro.integrity.relations`
+implements.
+"""
+
+from __future__ import annotations
+
+import json
+import random as _random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.crypto.abe import CPABE
+from repro.crypto.hashing import hkdf
+from repro.crypto.symmetric import AuthenticatedCipher, random_key
+from repro.exceptions import AccessDeniedError, DecryptionError
+from repro.integrity.relations import (Comment, CommentablePost, create_post,
+                                       verify_comment, write_comment)
+from repro.overlay.hybrid import HybridFetchResult, HybridOverlay
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+class CachetNetwork:
+    """A Cachet deployment over a social graph."""
+
+    def __init__(self, graph: nx.Graph, seed: int = 0,
+                 level: str = "TOY", cache_capacity: int = 32) -> None:
+        self.graph = graph
+        self.rng = _random.Random(seed)
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.overlay = HybridOverlay(self.network, graph,
+                                     cache_capacity=cache_capacity)
+        self.level = level
+        #: per-user ABE authority (users control their own policies)
+        self._abe: Dict[str, CPABE] = {}
+        self._abe_keys: Dict[str, Tuple[object, object]] = {}
+        #: (owner, principal) -> issued attribute key
+        self._issued: Dict[Tuple[str, str], object] = {}
+        #: pairwise keys used to wrap comment-signing keys
+        self._pairwise: Dict[Tuple[str, str], bytes] = {}
+        #: post id -> CommentablePost metadata (replicated with the post)
+        self._posts: Dict[str, CommentablePost] = {}
+        self._comments: Dict[str, List[Comment]] = {}
+
+    def _authority(self, owner: str) -> Tuple[CPABE, object, object]:
+        if owner not in self._abe:
+            scheme = CPABE(self.level)
+            pk, msk = scheme.setup(
+                _random.Random(f"{owner}/{self.rng.random()}"))
+            self._abe[owner] = scheme
+            self._abe_keys[owner] = (pk, msk)
+        pk, msk = self._abe_keys[owner]
+        return self._abe[owner], pk, msk
+
+    # -- key management ----------------------------------------------------------
+
+    def grant(self, owner: str, principal: str,
+              attributes: Sequence[str]) -> None:
+        """Owner issues an attribute key to a friend."""
+        scheme, pk, msk = self._authority(owner)
+        self._issued[(owner, principal)] = scheme.keygen(
+            pk, msk, list(attributes), self.rng)
+
+    def pairwise_key(self, a: str, b: str) -> bytes:
+        """The symmetric key a pair shares (comment-key wrap channel)."""
+        pair = (min(a, b), max(a, b))
+        key = self._pairwise.get(pair)
+        if key is None:
+            key = random_key(32, self.rng)
+            self._pairwise[pair] = key
+        return key
+
+    # -- posting (hybrid ABE + DHT/caching) ------------------------------------------
+
+    def post(self, author: str, post_id: str, text: str, policy: str,
+             commenters: Sequence[str] = ()) -> str:
+        """Publish: hybrid CP-ABE protection + per-post comment keys.
+
+        The ciphertext travels through the hybrid overlay (DHT +
+        gossip-cached); the comment verification key rides in the clear
+        inside the post, its signing key wrapped for ``commenters``.
+        """
+        scheme, pk, _ = self._authority(author)
+        commenter_keys = {user: self.pairwise_key(author, user)
+                          for user in commenters}
+        meta = create_post(post_id, author, text.encode(), commenter_keys,
+                           level=self.level, rng=self.rng)
+        self._posts[post_id] = meta
+        self._comments.setdefault(post_id, [])
+        header, blob = scheme.encrypt_bytes(pk, text.encode(), policy,
+                                            self.rng)
+        # ship header+payload as one DHT object (headers are small objects)
+        self._headers = getattr(self, "_headers", {})
+        self._headers[post_id] = header
+        self.overlay.publish(author, post_id, blob)
+        return post_id
+
+    def read(self, reader: str, author: str,
+             post_id: str) -> Tuple[str, HybridFetchResult]:
+        """Fetch via caches-then-DHT; decrypt with the reader's ABE key."""
+        result = self.overlay.fetch(reader, post_id)
+        scheme, pk, msk = self._authority(author)
+        header = self._headers[post_id]
+        if reader == author:
+            # The owner runs the authority: mint a key satisfying the
+            # post's own policy (owners can always read their data).
+            from repro.crypto.abe import policy_attributes
+            attrs = sorted(policy_attributes(header.policy))
+            key = scheme.keygen(pk, msk, attrs, self.rng)
+        else:
+            key = self._issued.get((author, reader))
+            if key is None:
+                raise AccessDeniedError(
+                    f"{author!r} issued no attribute key to {reader!r}")
+        try:
+            text = scheme.decrypt_bytes(header, result.value, key)
+        except DecryptionError as exc:
+            raise AccessDeniedError(
+                f"{reader!r}'s attributes do not satisfy the policy: {exc}")
+        return text.decode(), result
+
+    # -- comments (relation integrity) -------------------------------------------------
+
+    def comment(self, commenter: str, post_id: str, text: str) -> Comment:
+        """Write a comment with the post's embedded signing key."""
+        meta = self._posts.get(post_id)
+        if meta is None:
+            raise AccessDeniedError(f"no post {post_id!r}")
+        comment = write_comment(meta, commenter,
+                                self.pairwise_key(meta.author, commenter),
+                                text.encode(), rng=self.rng)
+        verify_comment(meta, comment)
+        self._comments[post_id].append(comment)
+        return comment
+
+    def verified_comments(self, post_id: str) -> List[str]:
+        """All comments that still verify against the post."""
+        meta = self._posts[post_id]
+        verified = []
+        for comment in self._comments.get(post_id, []):
+            try:
+                verify_comment(meta, comment)
+                verified.append(comment.body.decode())
+            except Exception:
+                continue
+        return verified
+
+    def cache_hit_rate(self) -> float:
+        """The hybrid overlay's headline performance number."""
+        return self.overlay.cache_hit_rate()

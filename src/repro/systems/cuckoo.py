@@ -1,0 +1,127 @@
+"""Cuckoo: decentralized socio-aware microblogging (Xu et al.).
+
+As the paper describes it: "The hybrid control overlay of Cuckoo uses
+structured lookup for finding rare items, whereas, the unstructured lookup
+helps with the fast discovery of popular items" (Section II-B).
+
+Composition: a follower graph drives **push dissemination** (gossip along
+social edges — the unstructured side, which is why popular posts arrive
+"for free"), while every post is also stored in a Chord DHT so that rare
+content and missed posts remain retrievable by **structured pull**.
+:meth:`CuckooNetwork.read` implements exactly the Cuckoo decision: check
+the local push inbox first, fall back to the DHT.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import OverlayError, StorageError
+from repro.overlay.chord import ChordRing
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+class CuckooNetwork:
+    """A Cuckoo deployment: follower-push + DHT-pull microblogging."""
+
+    def __init__(self, seed: int = 0, replication: int = 2,
+                 push_fanout: int = 8) -> None:
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.ring = ChordRing(self.network, replication=replication)
+        self.rng = _random.Random(seed)
+        self.push_fanout = push_fanout
+        self.followers: Dict[str, Set[str]] = {}
+        self.following: Dict[str, Set[str]] = {}
+        #: user -> post id -> content, delivered by push
+        self.inboxes: Dict[str, Dict[str, bytes]] = {}
+        self._sequence = 0
+        self._built = False
+        self.push_deliveries = 0
+        self.pull_fetches = 0
+
+    # -- membership -----------------------------------------------------------------
+
+    def register(self, name: str) -> None:
+        """Join the microblogging overlay."""
+        self.ring.add_node(name)
+        self.followers[name] = set()
+        self.following[name] = set()
+        self.inboxes[name] = {}
+        self._built = False
+
+    def follow(self, follower: str, publisher: str) -> None:
+        """Subscribe: future posts are pushed along the social overlay."""
+        if follower not in self.followers or publisher not in self.followers:
+            raise OverlayError("both users must be registered")
+        self.followers[publisher].add(follower)
+        self.following[follower].add(publisher)
+
+    def _ensure_built(self) -> None:
+        if not self._built:
+            self.ring.build()
+            self._built = True
+
+    # -- publish: push to followers + structured store --------------------------------
+
+    def post(self, author: str, text: bytes) -> str:
+        """Publish: DHT store (pull path) + social push to online followers.
+
+        Push propagates breadth-first through the follower set (followers
+        relay to co-followers, Cuckoo's socio-aware trick) with a fanout
+        bound; offline followers simply miss the push — the DHT copy is
+        their catch-up path.
+        """
+        self._ensure_built()
+        post_id = f"cuckoo/{author}/{self._sequence}"
+        self._sequence += 1
+        self.ring.put(author, post_id, text)
+        # breadth-first push through the follower graph
+        visited: Set[str] = {author}
+        queue = deque([(author, follower)
+                       for follower in sorted(self.followers[author])])
+        while queue:
+            relay, target = queue.popleft()
+            if target in visited:
+                continue
+            visited.add(target)
+            if not self.network.is_online(target):
+                continue  # missed push; DHT pull will catch them up
+            self.network.rpc(relay, target, kind="cuckoo_push")
+            self.inboxes[target][post_id] = text
+            self.push_deliveries += 1
+            # socio-aware relay: co-followers of the same publisher
+            co_followers = [f for f in sorted(self.followers[author])
+                            if f not in visited]
+            for next_target in co_followers[:self.push_fanout]:
+                queue.append((target, next_target))
+        return post_id
+
+    # -- read: unstructured first, structured fallback ----------------------------------
+
+    def read(self, reader: str, post_id: str) -> Tuple[bytes, str]:
+        """The Cuckoo split: inbox (push) hit or DHT (pull) fallback."""
+        self._ensure_built()
+        pushed = self.inboxes.get(reader, {}).get(post_id)
+        if pushed is not None:
+            return pushed, "push"
+        value, _ = self.ring.get(reader, post_id)
+        self.inboxes[reader][post_id] = value
+        self.pull_fetches += 1
+        return value, "pull"
+
+    def push_hit_rate(self) -> float:
+        """Fraction of reads served by the unstructured push path."""
+        total = self.push_deliveries + self.pull_fetches
+        return self.push_deliveries / total if total else 0.0
+
+    def go_offline(self, name: str) -> None:
+        """Take a peer down (misses pushes from now on)."""
+        self.ring.nodes[name].online = False
+
+    def go_online(self, name: str) -> None:
+        """Bring a peer back (catch-up happens via pull)."""
+        self.ring.nodes[name].online = True

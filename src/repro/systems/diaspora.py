@@ -1,0 +1,129 @@
+"""Diaspora: the federated DOSN with aspects (the paper's flagship example).
+
+Section I: "There are many distributed online social networks out of which
+Diaspora is one of the most popular because of its good privacy preserving
+design."  Section II-B: server federation "distribute[s] users' data among
+several servers ... none of them will have a complete global view."
+
+Composition: :class:`~repro.overlay.federation.FederatedNetwork` provides
+the pod substrate; on top we add Diaspora's signature feature — **aspects**
+(per-audience contact groups: "family", "work", ...).  A post targets one
+aspect; it is encrypted for that aspect's members (symmetric per-aspect
+keys, rotated on removal exactly as Section III-B prescribes) and federated
+only to their home pods.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.symmetric import StreamCipher, random_key
+from repro.exceptions import AccessDeniedError, DecryptionError, OverlayError
+from repro.overlay.federation import FederatedNetwork
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+class DiasporaNetwork:
+    """A Diaspora deployment: pods + aspects + per-aspect encryption."""
+
+    def __init__(self, seed: int = 0, pods: int = 4) -> None:
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.federation = FederatedNetwork(
+            self.network, [f"pod{i}" for i in range(pods)])
+        self.rng = _random.Random(seed)
+        #: (owner, aspect) -> (epoch, key)
+        self._aspect_keys: Dict[Tuple[str, str], Tuple[int, bytes]] = {}
+        #: (owner, aspect) -> member set
+        self.aspects: Dict[Tuple[str, str], Set[str]] = {}
+        #: user -> {(owner, aspect, epoch): key} — keys received from owners
+        self._keyrings: Dict[str, Dict[Tuple[str, str, int], bytes]] = {}
+        #: content id -> (owner, aspect, epoch)
+        self._catalog: Dict[str, Tuple[str, str, int]] = {}
+        self._sequence = 0
+
+    # -- membership -------------------------------------------------------------------
+
+    def register(self, user: str, pod: Optional[str] = None) -> str:
+        """Join a pod (hash-balanced by default)."""
+        self._keyrings[user] = {}
+        return self.federation.register_user(user, pod)
+
+    def create_aspect(self, owner: str, aspect: str,
+                      members: Sequence[str]) -> None:
+        """Create a contact group with its own key, shared with members."""
+        key = random_key(32, self.rng)
+        self._aspect_keys[(owner, aspect)] = (0, key)
+        self.aspects[(owner, aspect)] = set(members)
+        self._keyrings.setdefault(owner, {})[(owner, aspect, 0)] = key
+        for member in members:
+            self._keyrings[member][(owner, aspect, 0)] = key
+
+    def add_to_aspect(self, owner: str, aspect: str, user: str) -> None:
+        """Share the current aspect key with a new contact."""
+        epoch, key = self._aspect_keys[(owner, aspect)]
+        self.aspects[(owner, aspect)].add(user)
+        self._keyrings[user][(owner, aspect, epoch)] = key
+
+    def remove_from_aspect(self, owner: str, aspect: str,
+                           user: str) -> None:
+        """Remove a contact: rotate the key (future posts excluded)."""
+        members = self.aspects.get((owner, aspect))
+        if members is None or user not in members:
+            raise AccessDeniedError(
+                f"{user!r} is not in {owner!r}'s aspect {aspect!r}")
+        members.discard(user)
+        epoch, _ = self._aspect_keys[(owner, aspect)]
+        new_key = random_key(32, self.rng)
+        self._aspect_keys[(owner, aspect)] = (epoch + 1, new_key)
+        self._keyrings[owner][(owner, aspect, epoch + 1)] = new_key
+        for member in members:
+            self._keyrings[member][(owner, aspect, epoch + 1)] = new_key
+
+    # -- posting ------------------------------------------------------------------------
+
+    def post(self, owner: str, aspect: str, text: str) -> str:
+        """Encrypt for the aspect and federate to its members' pods only."""
+        entry = self._aspect_keys.get((owner, aspect))
+        if entry is None:
+            raise OverlayError(f"{owner!r} has no aspect {aspect!r}")
+        epoch, key = entry
+        members = sorted(self.aspects[(owner, aspect)])
+        blob = StreamCipher(key).encrypt(text.encode(), self.rng)
+        content_id = f"dsp{self._sequence}"
+        self._sequence += 1
+        self.federation.post(owner, content_id, blob, members)
+        self._catalog[content_id] = (owner, aspect, epoch)
+        return content_id
+
+    def read(self, reader: str, content_id: str) -> str:
+        """Fetch from the reader's pod and decrypt with the aspect key."""
+        owner, aspect, epoch = self._catalog[content_id]
+        blob = self.federation.fetch(reader, content_id)
+        key = self._keyrings.get(reader, {}).get((owner, aspect, epoch))
+        if key is None:
+            raise AccessDeniedError(
+                f"{reader!r} holds no key for {owner!r}/{aspect!r} "
+                f"epoch {epoch}")
+        try:
+            return StreamCipher(key).decrypt(blob).decode()
+        except DecryptionError:
+            raise AccessDeniedError(
+                f"{reader!r}'s aspect key does not open {content_id!r}")
+
+    # -- the federation privacy story -------------------------------------------------------
+
+    def pod_views(self) -> Dict[str, Dict[str, object]]:
+        """Per-pod observer views (users, ciphertext ids, edges)."""
+        return {name: self.federation.server_view(name)
+                for name in self.federation.servers}
+
+    def worst_pod_content_fraction(self) -> float:
+        """The worst pod's share of stored (ciphertext) objects."""
+        total = len(self._catalog)
+        if total == 0:
+            return 0.0
+        return max(len(server.content)
+                   for server in self.federation.servers.values()) / total

@@ -1,0 +1,145 @@
+"""PeerSoN: P2P social networking over a DHT (Buchegger et al.).
+
+As the paper describes it: PeerSoN "utilize[s] structured control overlay"
+(a DHT lookup service), uses **public key encryption** for content
+(Section III-C), digital signatures for integrity (Section IV), and keys
+"distributed out-of-band like physical meeting" (Section IV-A).
+
+Composition: :class:`~repro.overlay.chord.ChordRing` for lookup/storage +
+per-item public-key wrapped content keys + the
+:class:`~repro.dosn.identity.KeyRegistry` out-of-band channel + asynchronous
+DHT mailboxes so two peers who are never online simultaneously can still
+exchange messages (PeerSoN's headline feature).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto import elgamal
+from repro.crypto.hashing import hkdf
+from repro.crypto.symmetric import AuthenticatedCipher, random_key
+from repro.dosn.identity import Identity, KeyRegistry, create_identity
+from repro.exceptions import AccessDeniedError, DecryptionError, StorageError
+from repro.overlay.chord import ChordRing
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+class PeersonNetwork:
+    """A PeerSoN deployment: DHT + public-key encryption + DHT mailboxes."""
+
+    def __init__(self, seed: int = 0, replication: int = 2,
+                 level: str = "TOY") -> None:
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.ring = ChordRing(self.network, replication=replication)
+        self.registry = KeyRegistry()
+        self.level = level
+        self.rng = _random.Random(seed)
+        self.identities: Dict[str, Identity] = {}
+        self.friends: Dict[str, set] = {}
+        self._mailbox_counters: Dict[str, int] = {}
+        self._built = False
+
+    # -- membership --------------------------------------------------------------
+
+    def register(self, name: str) -> Identity:
+        """Join: create identity, publish public keys out-of-band, join DHT."""
+        identity = create_identity(name, self.level,
+                                   _random.Random(f"{name}/{self.rng.random()}"))
+        self.registry.register(identity)
+        self.identities[name] = identity
+        self.friends[name] = set()
+        self.ring.add_node(name)
+        self._built = False
+        return identity
+
+    def befriend(self, a: str, b: str) -> None:
+        """The 'physical meeting': both sides learn authenticated keys."""
+        self.friends[a].add(b)
+        self.friends[b].add(a)
+
+    def _ensure_built(self) -> None:
+        if not self._built:
+            self.ring.build()
+            self._built = True
+
+    # -- content: public-key wrapped, DHT stored -----------------------------------
+
+    def post(self, author: str, item_id: str, content: bytes) -> str:
+        """Encrypt for the author's friends and store under a DHT key."""
+        self._ensure_built()
+        content_key = random_key(32, self.rng)
+        wraps: Dict[str, str] = {}
+        for friend in sorted(self.friends[author]) + [author]:
+            public = self.registry.get(friend).encryption_key
+            wraps[friend] = elgamal.encrypt_bytes(public, content_key,
+                                                  self.rng).hex()
+        payload = AuthenticatedCipher(content_key).encrypt(content,
+                                                           rng=self.rng)
+        import json
+        blob = json.dumps({"wraps": wraps,
+                           "payload": payload.hex()}).encode()
+        dht_key = f"peerson/{author}/{item_id}"
+        self.ring.put(author, dht_key, blob)
+        return dht_key
+
+    def read(self, reader: str, dht_key: str) -> bytes:
+        """Fetch from the DHT and unwrap with the reader's private key."""
+        self._ensure_built()
+        import json
+        blob, _ = self.ring.get(reader, dht_key)
+        record = json.loads(blob.decode())
+        wrap = record["wraps"].get(reader)
+        if wrap is None:
+            raise AccessDeniedError(
+                f"{reader!r} has no wrapped key on {dht_key!r}")
+        private = self.identities[reader].encryption_key
+        try:
+            content_key = elgamal.decrypt_bytes(private, bytes.fromhex(wrap))
+            return AuthenticatedCipher(content_key).decrypt(
+                bytes.fromhex(record["payload"]))
+        except DecryptionError:
+            raise AccessDeniedError(f"{reader!r} cannot unwrap {dht_key!r}")
+
+    # -- asynchronous messaging through the DHT -------------------------------------
+
+    def send_async(self, sender: str, recipient: str,
+                   message: bytes) -> str:
+        """Drop an encrypted message into the recipient's DHT mailbox.
+
+        Works while the recipient is offline — the PeerSoN scenario of two
+        phones never awake at the same time.
+        """
+        self._ensure_built()
+        public = self.registry.get(recipient).encryption_key
+        blob = elgamal.encrypt_bytes(public, message, self.rng)
+        index = self._mailbox_counters.get(recipient, 0)
+        self._mailbox_counters[recipient] = index + 1
+        dht_key = f"peerson/mailbox/{recipient}/{index}"
+        self.ring.put(sender, dht_key, blob)
+        return dht_key
+
+    def fetch_mailbox(self, owner: str) -> List[bytes]:
+        """Drain every pending mailbox entry (decrypting locally)."""
+        self._ensure_built()
+        private = self.identities[owner].encryption_key
+        messages: List[bytes] = []
+        for index in range(self._mailbox_counters.get(owner, 0)):
+            dht_key = f"peerson/mailbox/{owner}/{index}"
+            try:
+                blob, _ = self.ring.get(owner, dht_key)
+            except StorageError:
+                continue
+            messages.append(elgamal.decrypt_bytes(private, blob))
+        return messages
+
+    def go_offline(self, name: str) -> None:
+        """Take a peer down (its DHT node too)."""
+        self.ring.nodes[name].online = False
+
+    def go_online(self, name: str) -> None:
+        """Bring a peer back."""
+        self.ring.nodes[name].online = True

@@ -1,0 +1,149 @@
+"""Safebook: privacy by leveraging real-life trust (Cutillo et al.).
+
+As the paper describes it: Safebook builds "a concentric circle of friends
+around each user, which makes it possible to communicate with the user
+without revealing identity or even IP address" (Section V-B), uses a
+structured overlay for lookup (Section II-B), and relies on digital
+signatures (Section IV).
+
+Composition: each user's **matryoshka** (from
+:mod:`repro.search.friend_routing`) provides anonymous request routing; the
+innermost shell doubles as the user's **mirrors** — friends who hold a
+signed, encrypted replica of the profile and serve it while the owner is
+offline.  The result is the Safebook trade: availability and anonymity both
+come from real-life friends, so both inherit the friends' uptime.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.crypto.symmetric import StreamCipher, random_key
+from repro.dosn.identity import Identity, KeyRegistry, create_identity
+from repro.exceptions import AccessDeniedError, SearchError, StorageError
+from repro.integrity.envelope import MessageEnvelope, open_envelope, seal
+from repro.search.friend_routing import Matryoshka, RoutedRequest
+
+
+class SafebookNetwork:
+    """A Safebook deployment over a social graph."""
+
+    def __init__(self, graph: nx.Graph, seed: int = 0, depth: int = 3,
+                 level: str = "TOY") -> None:
+        self.graph = graph
+        self.depth = depth
+        self.level = level
+        self.rng = _random.Random(seed)
+        self.registry = KeyRegistry()
+        self.identities: Dict[str, Identity] = {}
+        self.online: Dict[str, bool] = {}
+        self._group_keys: Dict[str, bytes] = {}
+        #: owner -> mirror -> encrypted signed profile replica
+        self._mirrors: Dict[str, Dict[str, bytes]] = {}
+        self._shells: Dict[str, Matryoshka] = {}
+        for node in graph.nodes:
+            name = str(node)
+            identity = create_identity(
+                name, level, _random.Random(f"{name}/{seed}"))
+            self.registry.register(identity)
+            self.identities[name] = identity
+            self.online[name] = True
+            self._group_keys[name] = random_key(32, self.rng)
+
+    def _matryoshka(self, core: str) -> Matryoshka:
+        shells = self._shells.get(core)
+        if shells is None:
+            shells = Matryoshka(self.graph, core, depth=self.depth)
+            self._shells[core] = shells
+        return shells
+
+    # -- profile publication with mirroring -----------------------------------------
+
+    def publish_profile(self, owner: str, profile: bytes,
+                        now: float = 0.0) -> int:
+        """Sign + encrypt the profile and replicate to shell-1 mirrors.
+
+        Returns the number of mirrors provisioned.  The envelope signature
+        gives owner/content integrity (a mirror cannot alter the profile
+        undetected); the group key restricts readability to friends.
+        """
+        envelope = seal(self.identities[owner].signer, owner, profile,
+                        issued_at=now, rng=self.rng)
+        import json
+        serialized = json.dumps({
+            "sender": envelope.sender, "body": envelope.body.hex(),
+            "issued_at": envelope.issued_at,
+            "sequence": envelope.sequence,
+            "signature": list(envelope.signature),
+        }).encode()
+        blob = StreamCipher(self._group_keys[owner]).encrypt(serialized,
+                                                             self.rng)
+        mirrors = self._matryoshka(owner).shells[0]
+        self._mirrors[owner] = {mirror: blob for mirror in mirrors}
+        return len(mirrors)
+
+    def _decrypt_and_verify(self, owner: str, reader: str,
+                            blob: bytes) -> bytes:
+        if reader != owner and reader not in set(
+                str(n) for n in self.graph.neighbors(owner)):
+            raise AccessDeniedError(
+                f"{reader!r} is not a friend of {owner!r}")
+        import json
+        serialized = StreamCipher(self._group_keys[owner]).decrypt(blob)
+        data = json.loads(serialized.decode())
+        envelope = MessageEnvelope(
+            sender=data["sender"], recipient=None,
+            body=bytes.fromhex(data["body"]),
+            issued_at=data["issued_at"], expires_at=None,
+            sequence=data["sequence"],
+            signature=tuple(data["signature"]))
+        return open_envelope(envelope,
+                             self.registry.get(owner).verify_key)
+
+    # -- anonymous retrieval through the shells ---------------------------------------
+
+    def retrieve_profile(self, requester: str, owner: str
+                         ) -> Tuple[bytes, RoutedRequest, str]:
+        """Fetch ``owner``'s profile anonymously via their matryoshka.
+
+        The request enters at a random outermost-shell node and is relayed
+        inward; the innermost relay (a mirror) serves the replica — so the
+        profile is retrievable *and* the owner never learns who asked,
+        even while offline.  Raises :class:`StorageError` when neither the
+        owner nor any mirror is online.
+        """
+        shells = self._matryoshka(owner)
+        request = shells.route_request(requester, self.rng)
+        for relay in request.path:
+            if not self.online.get(relay, False):
+                raise SearchError(
+                    f"relay {relay!r} on the shell path is offline")
+        mirror = request.path[-1]  # innermost shell member
+        blob = self._mirrors.get(owner, {}).get(mirror)
+        if blob is None:
+            if self.online.get(owner, False):
+                blob = next(iter(self._mirrors.get(owner, {}).values()),
+                            None)
+            if blob is None:
+                raise StorageError(
+                    f"no online mirror holds {owner!r}'s profile")
+        return (self._decrypt_and_verify(owner, requester, blob),
+                request, mirror)
+
+    def availability(self, owner: str, probes: int = 50,
+                     offline_probability: float = 0.5,
+                     seed: int = 0) -> float:
+        """Fraction of random up/down patterns under which the profile is
+        servable by owner-or-mirrors — friend-powered availability."""
+        rng = _random.Random(seed)
+        mirrors = list(self._mirrors.get(owner, {}))
+        hits = 0
+        for _ in range(probes):
+            owner_up = rng.random() > offline_probability
+            any_mirror_up = any(rng.random() > offline_probability
+                                for _ in mirrors)
+            hits += owner_up or any_mirror_up
+        return hits / probes

@@ -1,0 +1,134 @@
+"""Supernova: super-peer based DOSN with storekeepers (Sharma & Datta).
+
+As the paper describes it: "Semi-structured DOSN makes use of super peers,
+which are a subset of all users who are responsible for storing the index
+and managing other users ... Such a structure may include lookup services
+and tracking of users up-time to find the best places for replication"
+(Section II-B).
+
+Composition: :class:`~repro.overlay.superpeer.SuperPeerOverlay` provides
+index + uptime tracking; on top we add Supernova's defining concept —
+**storekeepers**: peers recommended by super-peers (by tracked uptime) who
+hold a user's encrypted data while the user is offline.  Availability then
+follows the storekeeper agreement, not the owner's own uptime.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.symmetric import StreamCipher, random_key
+from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.overlay.churn import ExponentialOnOff
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+from repro.overlay.superpeer import SuperPeerOverlay
+
+
+class SupernovaNetwork:
+    """A Supernova deployment: super-peers + uptime-picked storekeepers."""
+
+    def __init__(self, seed: int = 0, super_peers: int = 4,
+                 storekeepers_per_user: int = 3) -> None:
+        self.sim = Simulator(seed)
+        self.network = SimNetwork(self.sim)
+        self.overlay = SuperPeerOverlay(self.network)
+        self.rng = _random.Random(seed)
+        self.storekeepers_per_user = storekeepers_per_user
+        for index in range(super_peers):
+            self.overlay.add_super_peer(f"sp{index}")
+        self._keys: Dict[str, bytes] = {}
+        #: owner -> storekeeper agreement (names)
+        self.agreements: Dict[str, List[str]] = {}
+        #: storekeeper -> {(owner, item): blob}
+        self._kept: Dict[str, Dict[Tuple[str, str], bytes]] = {}
+
+    # -- membership -----------------------------------------------------------------
+
+    def register(self, name: str) -> None:
+        """Join under a (hash-assigned) super-peer."""
+        self.overlay.add_peer(name)
+        self._keys[name] = random_key(32, self.rng)
+        self._kept[name] = {}
+
+    def report_uptimes(self, fractions: Dict[str, float]) -> None:
+        """Feed uptime observations to the super-peer tier."""
+        self.overlay.report_uptimes(fractions)
+
+    # -- storekeeper agreements ---------------------------------------------------------
+
+    def arrange_storekeepers(self, owner: str) -> List[str]:
+        """Ask the super-peers for the best-uptime hosts and sign them up.
+
+        This is the Supernova 'find the best places for replication'
+        service in action.
+        """
+        keepers = self.overlay.best_replica_hosts(
+            self.storekeepers_per_user, exclude=[owner])
+        if len(keepers) < self.storekeepers_per_user:
+            raise OverlayError("not enough tracked peers to pick keepers")
+        self.agreements[owner] = keepers
+        return keepers
+
+    def store(self, owner: str, item_id: str, content: bytes) -> None:
+        """Encrypt and hand copies to every storekeeper + the index."""
+        keepers = self.agreements.get(owner)
+        if keepers is None:
+            raise OverlayError(
+                f"{owner!r} has no storekeeper agreement; call "
+                "arrange_storekeepers first")
+        blob = StreamCipher(self._keys[owner]).encrypt(content, self.rng)
+        for keeper in keepers:
+            self._kept[keeper][(owner, item_id)] = blob
+            self.network.rpc(owner, keeper, kind="sn_store")
+        # publish the index entry so lookups find the keepers
+        self.overlay.publish(owner, f"sn/{owner}/{item_id}", b"")
+        index_sp = self.overlay._index_super(f"sn/{owner}/{item_id}")
+        self.overlay.super_peers[index_sp].index[
+            f"sn/{owner}/{item_id}"] = list(keepers)
+
+    def retrieve(self, reader: str, owner: str, item_id: str,
+                 owner_key: Optional[bytes] = None) -> bytes:
+        """Lookup via super-peers, download from a live storekeeper.
+
+        ``owner_key`` models the out-of-band friend-key handoff; readers
+        without it get ciphertext they cannot open.
+        """
+        result = self.overlay.lookup(reader, f"sn/{owner}/{item_id}")
+        for keeper in result.holders:
+            peer = self.overlay.peers.get(keeper)
+            if peer is None or not peer.online:
+                continue
+            blob = self._kept.get(keeper, {}).get((owner, item_id))
+            if blob is None:
+                continue
+            self.network.rpc(reader, keeper, kind="sn_fetch")
+            key = owner_key if owner_key is not None \
+                else self._keys.get(reader) if reader == owner else None
+            if reader == owner:
+                key = self._keys[owner]
+            if key is None:
+                raise StorageError(
+                    f"{reader!r} fetched ciphertext but holds no key of "
+                    f"{owner!r}")
+            return StreamCipher(key).decrypt(blob)
+        raise StorageError(
+            f"no live storekeeper for {owner!r}/{item_id!r}")
+
+    def friend_key(self, owner: str) -> bytes:
+        """The owner's content key (handed to friends out-of-band)."""
+        return self._keys[owner]
+
+    # -- the availability story -----------------------------------------------------------
+
+    def availability_with_agreement(self, owner: str,
+                                    churn: ExponentialOnOff,
+                                    probe_times: Sequence[float]) -> float:
+        """P(some storekeeper online) under a churn model."""
+        keepers = self.agreements.get(owner, [])
+        hits = 0
+        for t in probe_times:
+            if any(churn.online_at(keeper, t) for keeper in keepers):
+                hits += 1
+        return hits / len(probe_times) if probe_times else 0.0

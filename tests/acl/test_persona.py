@@ -1,0 +1,111 @@
+"""Tests for Persona-style application access control."""
+
+import random
+
+import pytest
+
+from repro.acl.persona import Application, LegacyPlatform, PersonaUser
+from repro.exceptions import AccessDeniedError
+
+
+@pytest.fixture
+def alice():
+    user = PersonaUser("alice", rng=random.Random(0x9E125))
+    user.store("wall-post", b"weekend plans", "friends")
+    user.store("photos", b"album bytes", "friends or family")
+    user.store("diary", b"private thoughts", "family and confidant")
+    user.store("calendar", b"meetings", "apps-calendar or friends")
+    return user
+
+
+class TestPolicies:
+    def test_friend_key_scope(self, alice):
+        key = alice.issue_key("bob", ["friends"])
+        assert alice.read("wall-post", key) == b"weekend plans"
+        assert alice.read("photos", key) == b"album bytes"
+        with pytest.raises(AccessDeniedError):
+            alice.read("diary", key)
+
+    def test_family_key_scope(self, alice):
+        key = alice.issue_key("mom", ["family", "confidant"])
+        assert alice.read("diary", key) == b"private thoughts"
+        assert alice.read("photos", key) == b"album bytes"
+        with pytest.raises(AccessDeniedError):
+            alice.read("wall-post", key)
+
+    def test_unknown_datum(self, alice):
+        key = alice.issue_key("bob", ["friends"])
+        with pytest.raises(AccessDeniedError):
+            alice.read("ghost", key)
+
+    def test_grants_recorded(self, alice):
+        alice.issue_key("bob", ["friends"])
+        assert alice.grants["bob"] == ("friends",)
+
+
+class TestApplications:
+    def test_app_sees_only_granted_scope(self, alice):
+        """The Persona property: install != full access."""
+        app = Application("calendar-sync")
+        granted = app.install(alice, ["apps-calendar"])
+        assert granted == ("apps-calendar",)
+        visible = app.visible_data(alice)
+        assert visible == {"calendar": b"meetings"}
+
+    def test_greedy_app_gets_nothing_extra(self, alice):
+        """An app granted an attribute no policy mentions sees nothing."""
+        app = Application("flashlight")
+        app.install(alice, ["apps-flashlight"])
+        assert app.visible_data(alice) == {}
+
+    def test_uninstalled_app_denied(self, alice):
+        app = Application("nosy")
+        with pytest.raises(AccessDeniedError):
+            app.visible_data(alice)
+
+    def test_per_user_isolation(self, alice):
+        """An app's key for one user opens nothing of another user's."""
+        bob = PersonaUser("bob", rng=random.Random(1))
+        bob.store("note", b"bob data", "apps-calendar")
+        app = Application("calendar-sync")
+        app.install(alice, ["apps-calendar"])
+        # not installed for bob: no key, no access
+        with pytest.raises(AccessDeniedError):
+            app.visible_data(bob)
+        # even reusing alice's key object against bob's data fails
+        # (different ABE authorities)
+        app.keys["bob"] = app.keys["alice"]
+        assert app.visible_data(bob) == {}
+
+
+class TestLegacyBaseline:
+    def test_install_grants_everything(self):
+        """The anti-pattern the paper's 'API protection' concern describes."""
+        platform = LegacyPlatform()
+        platform.store("alice", "wall-post", b"weekend plans")
+        platform.store("alice", "diary", b"private thoughts")
+        platform.install_app("alice", "flashlight")
+        view = platform.app_view("flashlight", "alice")
+        assert view == {"wall-post": b"weekend plans",
+                        "diary": b"private thoughts"}
+
+    def test_uninstalled_denied(self):
+        platform = LegacyPlatform()
+        platform.store("alice", "x", b"v")
+        with pytest.raises(AccessDeniedError):
+            platform.app_view("nosy", "alice")
+
+    def test_persona_vs_legacy_exposure(self, alice):
+        """Head-to-head: same app request, radically different exposure."""
+        legacy = LegacyPlatform()
+        for name in alice.data_names():
+            legacy.store("alice", name, b"plaintext")
+        legacy.install_app("alice", "calendar-sync")
+        legacy_view = legacy.app_view("calendar-sync", "alice")
+
+        app = Application("calendar-sync")
+        app.install(alice, ["apps-calendar"])
+        persona_view = app.visible_data(alice)
+
+        assert len(legacy_view) == 4   # everything
+        assert len(persona_view) == 1  # exactly the granted scope

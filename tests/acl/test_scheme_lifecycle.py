@@ -1,0 +1,263 @@
+"""Uniform lifecycle tests across all AccessControlScheme implementations.
+
+Every Table I scheme must pass the same create/publish/read/join/revoke
+contract; scheme-specific cost semantics are asserted separately below.
+"""
+
+import random
+
+import pytest
+
+from repro.acl import SCHEME_REGISTRY
+from repro.acl.abe_acl import ABEACL
+from repro.acl.hybrid_acl import HybridACL
+from repro.acl.ibbe_acl import IBBEACL
+from repro.acl.publickey_acl import PublicKeyACL
+from repro.acl.symmetric_acl import SymmetricKeyACL
+from repro.exceptions import AccessDeniedError, PolicyError
+
+
+def make_scheme(name):
+    return SCHEME_REGISTRY[name](rng=random.Random(0xACE))
+
+
+@pytest.fixture(params=sorted(SCHEME_REGISTRY))
+def scheme(request):
+    return make_scheme(request.param)
+
+
+class TestLifecycleContract:
+    def test_members_read_nonmembers_do_not(self, scheme):
+        scheme.create_group("g", ["alice", "bob"])
+        scheme.publish("g", "item", b"secret")
+        assert scheme.read("g", "item", "alice") == b"secret"
+        assert scheme.read("g", "item", "bob") == b"secret"
+        scheme.register_user("eve")
+        with pytest.raises(AccessDeniedError):
+            scheme.read("g", "item", "eve")
+
+    def test_join_grants_future_content(self, scheme):
+        scheme.create_group("g", ["alice"])
+        scheme.add_member("g", "carol")
+        scheme.publish("g", "post", b"data")
+        assert scheme.read("g", "post", "carol") == b"data"
+
+    def test_revoked_member_loses_future_content(self, scheme):
+        scheme.create_group("g", ["alice", "bob", "carol"])
+        scheme.publish("g", "old", b"old data")
+        scheme.revoke_member("g", "bob")
+        scheme.publish("g", "new", b"new data")
+        with pytest.raises(AccessDeniedError):
+            scheme.read("g", "new", "bob")
+        assert scheme.read("g", "new", "alice") == b"new data"
+        assert scheme.read("g", "new", "carol") == b"new data"
+
+    def test_unknown_group_and_item_rejected(self, scheme):
+        with pytest.raises(AccessDeniedError):
+            scheme.publish("nope", "i", b"x")
+        scheme.create_group("g", ["a"])
+        with pytest.raises(AccessDeniedError):
+            scheme.read("g", "missing", "a")
+
+    def test_duplicate_group_rejected(self, scheme):
+        scheme.create_group("g", ["a"])
+        with pytest.raises(AccessDeniedError):
+            scheme.create_group("g", ["b"])
+
+    def test_revoke_nonmember_rejected(self, scheme):
+        scheme.create_group("g", ["a"])
+        with pytest.raises(AccessDeniedError):
+            scheme.revoke_member("g", "stranger")
+
+    def test_add_member_idempotent(self, scheme):
+        scheme.create_group("g", ["a", "b"])
+        scheme.add_member("g", "b")
+        scheme.publish("g", "i", b"x")
+        assert scheme.read("g", "i", "b") == b"x"
+
+    def test_multiple_groups_isolated(self, scheme):
+        scheme.create_group("g1", ["alice", "bob"])
+        scheme.create_group("g2", ["alice", "carol"])
+        scheme.publish("g1", "i1", b"for g1")
+        scheme.publish("g2", "i2", b"for g2")
+        assert scheme.read("g1", "i1", "bob") == b"for g1"
+        with pytest.raises(AccessDeniedError):
+            scheme.read("g2", "i2", "bob")
+
+
+class TestSymmetricSemantics:
+    def test_revocation_reencrypts_everything(self):
+        s = make_scheme("symmetric")
+        s.create_group("g", ["a", "b", "c"])
+        for i in range(5):
+            s.publish("g", f"i{i}", f"data{i}".encode())
+        s.meter.reset()
+        s.revoke_member("g", "b")
+        assert s.meter.counts["reencryption"] == 5
+        assert s.meter.counts["key_distribution"] == 2  # a and c rekeyed
+
+    def test_revoked_member_loses_history_after_reencryption(self):
+        s = make_scheme("symmetric")
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "old", b"x")
+        s.revoke_member("g", "b")
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "old", "b")
+
+    def test_cached_key_caveat(self):
+        """'If someone already decrypted the data and kept a copy, we
+        cannot revoke that' — a leaked pre-revocation key still opens
+        pre-revocation ciphertexts (which is why re-encryption exists)."""
+        from repro.crypto.symmetric import AuthenticatedCipher
+        s = make_scheme("symmetric")
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "i", b"x")
+        old_record = s.groups["g"].items["i"]
+        leaked = s.leaked_key("g", 0)
+        s.revoke_member("g", "b")
+        # The *old* ciphertext (as bob may have cached it) still opens:
+        assert AuthenticatedCipher(leaked).decrypt(old_record.blob) == b"x"
+
+    def test_constant_header(self):
+        s = make_scheme("symmetric")
+        s.create_group("g", ["a", "b", "c", "d"])
+        s.publish("g", "i", b"x")
+        assert s.meter.counts["header_bytes"] == 0
+
+
+class TestPublicKeySemantics:
+    def test_publish_cost_linear_in_members(self):
+        s = make_scheme("public-key")
+        s.create_group("g", [f"u{i}" for i in range(6)])
+        s.meter.reset()
+        s.publish("g", "i", b"x")
+        assert s.meter.counts["pub_encrypt"] == 6
+
+    def test_join_rewraps_history(self):
+        s = make_scheme("public-key")
+        s.create_group("g", ["a"])
+        for i in range(3):
+            s.publish("g", f"i{i}", b"x")
+        s.meter.reset()
+        s.add_member("g", "newbie")
+        assert s.meter.counts["pub_encrypt"] == 3
+        assert s.read("g", "i0", "newbie") == b"x"
+
+    def test_lazy_revocation_keeps_history_readable(self):
+        s = make_scheme("public-key")  # strict_revocation=False
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "old", b"x")
+        s.revoke_member("g", "b")
+        # Paper: the key is only deleted from the list — history remains.
+        assert s.read("g", "old", "b") == b"x"
+
+    def test_strict_revocation_reencrypts(self):
+        s = PublicKeyACL(rng=random.Random(1), strict_revocation=True)
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "old", b"x")
+        s.revoke_member("g", "b")
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "old", "b")
+        assert s.read("g", "old", "a") == b"x"
+
+
+class TestABESemantics:
+    def test_group_creation_is_one_encryption(self):
+        s = make_scheme("cp-abe")
+        s.create_group("g", [f"u{i}" for i in range(5)])
+        s.meter.reset()
+        s.publish("g", "i", b"x")
+        assert s.meter.counts["pub_encrypt"] == 1  # regardless of size
+
+    def test_revocation_rekeys_and_reencrypts(self):
+        s = make_scheme("cp-abe")
+        s.create_group("g", ["a", "b", "c"])
+        for i in range(3):
+            s.publish("g", f"i{i}", b"x")
+        s.meter.reset()
+        s.revoke_member("g", "b")
+        assert s.meter.counts["reencryption"] == 3
+        assert s.meter.counts["key_distribution"] >= 2  # survivors rekeyed
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "i0", "b")
+        assert s.read("g", "i0", "a") == b"x"
+
+    def test_custom_policy_publish(self):
+        s = make_scheme("cp-abe")
+        s.create_group("g", ["alice", "bob"])
+        s.grant_attribute("alice", "doctor")
+        s.grant_attribute("bob", "painter")
+        s.publish_with_policy("g", "med", b"records", "doctor")
+        assert s.read("g", "med", "alice") == b"records"
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "med", "bob")
+
+    def test_strip_attribute(self):
+        s = make_scheme("cp-abe")
+        s.create_group("g", ["alice"])
+        s.grant_attribute("alice", "temp")
+        s.publish_with_policy("g", "i", b"x", "temp")
+        assert s.read("g", "i", "alice") == b"x"
+        s.strip_attribute("alice", "temp")
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "i", "alice")
+
+
+class TestIBBESemantics:
+    def test_revocation_is_free(self):
+        s = make_scheme("ibbe")
+        s.create_group("g", ["a", "b", "c"])
+        s.publish("g", "i0", b"x")
+        s.meter.reset()
+        s.revoke_member("g", "b")
+        assert s.meter.total() == 0  # the paper's "no extra cost"
+
+    def test_header_constant_across_group_sizes(self):
+        sizes = []
+        for n in (2, 8, 32):
+            s = IBBEACL(rng=random.Random(n), max_group_size=64)
+            s.create_group("g", [f"u{i}" for i in range(n)])
+            s.meter.reset()
+            s.publish("g", "i", b"x")
+            sizes.append(s.meter.counts["header_bytes"])
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_no_key_exchange_on_join(self):
+        s = make_scheme("ibbe")
+        s.create_group("g", ["a"])
+        s.register_user("b")
+        s.meter.reset()
+        s.add_member("g", "b")   # already provisioned: zero cost
+        assert s.meter.total() == 0
+
+
+class TestHybridSemantics:
+    @pytest.mark.parametrize("kem", HybridACL.KEM_KINDS)
+    def test_all_kems_roundtrip(self, kem):
+        s = HybridACL(rng=random.Random(2), kem=kem)
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "i", b"payload")
+        assert s.read("g", "i", "a") == b"payload"
+        s.register_user("z")
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "i", "z")
+
+    def test_exactly_one_symmetric_pass_per_item(self):
+        s = HybridACL(rng=random.Random(3), kem="ibbe")
+        s.create_group("g", [f"u{i}" for i in range(8)])
+        s.meter.reset()
+        s.publish("g", "i", b"x" * 10000)
+        assert s.meter.counts["sym_encrypt"] == 1
+        assert s.meter.counts["pub_encrypt"] == 1  # one wrap, large payload
+
+    def test_unknown_kem_rejected(self):
+        with pytest.raises(PolicyError):
+            HybridACL(kem="rot13")
+
+    def test_abe_kem_revocation_drops_key(self):
+        s = HybridACL(rng=random.Random(4), kem="abe")
+        s.create_group("g", ["a", "b"])
+        s.publish("g", "i", b"x")
+        s.revoke_member("g", "b")
+        with pytest.raises(AccessDeniedError):
+            s.read("g", "i", "b")

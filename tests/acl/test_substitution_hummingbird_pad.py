@@ -1,0 +1,255 @@
+"""Tests for information substitution, Hummingbird, and the PAD."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.hummingbird import (HummingbirdFollower, HummingbirdPublisher,
+                                   HummingbirdServer)
+from repro.acl.pad import PAD, FrientegrityACL, verify_lookup
+from repro.acl.substitution import (NoybDictionary, NoybUser,
+                                    VirtualPrivateProfile)
+from repro.exceptions import AccessDeniedError, IntegrityError
+
+
+class TestVirtualPrivateProfile:
+    def test_provider_sees_only_fakes(self, rng):
+        profile = VirtualPrivateProfile("alice")
+        key = profile.add_friend("bob", rng)
+        profile.set_field("city", "Istanbul", "Springfield", rng)
+        profile.set_field("job", "professor", "plumber", rng)
+        assert profile.provider_view() == {"city": "Springfield",
+                                           "job": "plumber"}
+
+    def test_friends_reconstruct_real_values(self, rng):
+        profile = VirtualPrivateProfile("alice")
+        key = profile.add_friend("bob", rng)
+        profile.set_field("city", "Istanbul", "Springfield", rng)
+        assert profile.friend_view("bob", key) == {"city": "Istanbul"}
+
+    def test_late_friend_gets_existing_fields(self, rng):
+        profile = VirtualPrivateProfile("alice")
+        profile.set_field("city", "Istanbul", "Springfield", rng)
+        key = profile.add_friend("carol", rng)
+        assert profile.friend_view("carol", key) == {"city": "Istanbul"}
+
+    def test_stranger_denied(self, rng):
+        profile = VirtualPrivateProfile("alice")
+        profile.add_friend("bob", rng)
+        profile.set_field("city", "Istanbul", "Springfield", rng)
+        with pytest.raises(AccessDeniedError):
+            profile.friend_view("eve", b"k" * 32)
+
+
+class TestNoyb:
+    def _population(self, n, secret=b"s" * 32):
+        dictionary = NoybDictionary()
+        users = [NoybUser(f"u{i}", dictionary, secret) for i in range(n)]
+        for i, user in enumerate(users):
+            user.publish_atom("city", f"city-{i}")
+            user.publish_atom("age", str(20 + i))
+        return dictionary, users
+
+    def test_displayed_profile_is_plausible_atom(self):
+        dictionary, users = self._population(10)
+        shown = users[3].displayed_profile()
+        assert shown["city"] in dictionary.clusters["city"]
+        assert shown["age"] in dictionary.clusters["age"]
+
+    def test_authorized_friend_recovers_real_profile(self):
+        _, users = self._population(10)
+        real = users[3].real_profile_for(b"s" * 32)
+        assert real == {"city": "city-3", "age": "23"}
+
+    def test_wrong_secret_denied(self):
+        _, users = self._population(5)
+        with pytest.raises(AccessDeniedError):
+            users[0].real_profile_for(b"x" * 32)
+
+    def test_swaps_mostly_move_atoms(self):
+        """With a big cluster, most users display someone else's atom."""
+        _, users = self._population(50)
+        displaced = sum(
+            1 for i, u in enumerate(users)
+            if u.displayed_profile()["city"] != f"city-{i}")
+        assert displaced >= 40
+
+    def test_dictionary_lookup_bounds(self):
+        dictionary, _ = self._population(3)
+        with pytest.raises(AccessDeniedError):
+            dictionary.lookup("city", 99)
+        with pytest.raises(AccessDeniedError):
+            dictionary.lookup("unknown-type", 0)
+
+
+class TestHummingbird:
+    def _setup(self):
+        rng = random.Random(7)
+        server = HummingbirdServer()
+        publisher = HummingbirdPublisher("alice", rng=rng)
+        follower = HummingbirdFollower("bob", rng=rng)
+        return server, publisher, follower
+
+    def test_subscribed_tweets_delivered(self):
+        server, publisher, follower = self._setup()
+        follower.subscribe(publisher, "#privacy")
+        publisher.tweet(server, "#privacy", "dosn privacy matters")
+        publisher.tweet(server, "#cats", "cat pic")
+        results = follower.fetch(server)
+        assert results == [("alice", "#privacy", "dosn privacy matters")]
+
+    def test_server_sees_only_opaque_tags(self):
+        server, publisher, follower = self._setup()
+        follower.subscribe(publisher, "#secret-topic")
+        publisher.tweet(server, "#secret-topic", "content")
+        for author, tag in server.provider_view():
+            assert b"secret" not in tag
+            assert len(tag) == 16
+
+    def test_publisher_does_not_learn_interest(self):
+        """The OPRF transcript (blinded elements) is all the publisher sees;
+        two subscriptions to the same hashtag leave different transcripts."""
+        rng = random.Random(8)
+        publisher = HummingbirdPublisher("alice", rng=rng)
+        transcripts = []
+
+        original = publisher.serve_subscription
+
+        def spying(blinded):
+            transcripts.append(blinded)
+            return original(blinded)
+
+        publisher.serve_subscription = spying
+        f1 = HummingbirdFollower("b1", rng=rng)
+        f2 = HummingbirdFollower("b2", rng=rng)
+        f1.subscribe(publisher, "#same")
+        f2.subscribe(publisher, "#same")
+        assert transcripts[0] != transcripts[1]
+
+    def test_unsubscribed_tag_not_matched(self):
+        server, publisher, follower = self._setup()
+        follower.subscribe(publisher, "#a")
+        publisher.tweet(server, "#b", "hidden")
+        assert follower.fetch(server) == []
+
+    def test_cross_publisher_isolation(self):
+        rng = random.Random(9)
+        server = HummingbirdServer()
+        pub1 = HummingbirdPublisher("p1", rng=rng)
+        pub2 = HummingbirdPublisher("p2", rng=rng)
+        follower = HummingbirdFollower("f", rng=rng)
+        follower.subscribe(pub1, "#x")
+        pub2.tweet(server, "#x", "from p2")  # different OPRF secret
+        assert follower.fetch(server) == []
+
+
+class TestPAD:
+    def test_empty_pad(self):
+        pad = PAD()
+        assert len(pad) == 0
+        assert pad.get("x") is None
+        proof = pad.prove("x")
+        assert proof.found_value is None
+        assert verify_lookup(pad.root_hash, proof)
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.binary(min_size=1, max_size=8), min_size=1,
+                           max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_membership_proofs_verify(self, mapping):
+        pad = PAD()
+        for key, value in mapping.items():
+            pad = pad.insert(key, value)
+        root = pad.root_hash
+        for key, value in mapping.items():
+            proof = pad.prove(key)
+            assert proof.found_value == value
+            assert verify_lookup(root, proof)
+
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=2,
+                    max_size=20, unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_history_independence(self, keys):
+        """Any insertion order of the same set yields the same root."""
+        forward = PAD()
+        for k in keys:
+            forward = forward.insert(k, k.encode())
+        backward = PAD()
+        for k in reversed(keys):
+            backward = backward.insert(k, k.encode())
+        assert forward.root_hash == backward.root_hash
+
+    def test_absence_proofs_verify(self):
+        pad = PAD()
+        for i in range(20):
+            pad = pad.insert(f"user{i}", b"v")
+        proof = pad.prove("ghost")
+        assert proof.found_value is None
+        assert verify_lookup(pad.root_hash, proof)
+
+    def test_forged_proof_rejected(self):
+        pad = PAD().insert("alice", b"admin").insert("bob", b"reader")
+        proof = pad.prove("bob")
+        import dataclasses
+        forged = dataclasses.replace(proof, found_value=b"admin")
+        assert not verify_lookup(pad.root_hash, forged)
+
+    def test_persistence(self):
+        v1 = PAD().insert("a", b"1")
+        v2 = v1.insert("b", b"2")
+        v3 = v2.delete("a")
+        assert v1.get("a") == b"1" and v1.get("b") is None
+        assert v2.get("a") == b"1" and v2.get("b") == b"2"
+        assert v3.get("a") is None and v3.get("b") == b"2"
+
+    def test_update_replaces(self):
+        pad = PAD().insert("k", b"old").insert("k", b"new")
+        assert pad.get("k") == b"new"
+        assert len(pad) == 1
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(IntegrityError):
+            PAD().delete("ghost")
+
+    def test_keys_sorted(self):
+        pad = PAD()
+        for k in ("m", "a", "z", "c"):
+            pad = pad.insert(k, b"v")
+        assert list(pad.keys()) == ["a", "c", "m", "z"]
+
+    def test_proof_depth_logarithmic(self):
+        pad = PAD()
+        for i in range(256):
+            pad = pad.insert(f"user{i:03d}", b"v")
+        depths = [len(pad.prove(f"user{i:03d}").path)
+                  for i in range(0, 256, 16)]
+        # Treap expected depth ~ 2 ln n ≈ 11; allow generous slack.
+        assert max(depths) < 30
+
+
+class TestFrientegrityACL:
+    def test_epoch_history(self):
+        acl = FrientegrityACL()
+        e1 = acl.add_member("alice", "writer")
+        e2 = acl.add_member("bob")
+        e3 = acl.remove_member("alice")
+        assert (e1, e2, e3) == (1, 2, 3)
+        assert len(acl.history) == 4
+
+    def test_past_membership_provable_after_removal(self):
+        acl = FrientegrityACL()
+        e1 = acl.add_member("alice")
+        acl.remove_member("alice")
+        old_proof = acl.prove_membership("alice", epoch=e1)
+        assert old_proof.found_value is not None
+        assert verify_lookup(acl.root_at(e1), old_proof)
+        now_proof = acl.prove_membership("alice")
+        assert now_proof.found_value is None
+        assert verify_lookup(acl.current.root_hash, now_proof)
+
+    def test_role_stored(self):
+        acl = FrientegrityACL()
+        acl.add_member("alice", "writer")
+        assert acl.current.get("alice") == b"writer"

@@ -1,0 +1,175 @@
+"""Tests for CP-ABE: policy language, encryption semantics, revocation."""
+
+import random
+
+import pytest
+
+from repro.crypto.abe import (PolicyGate, PolicyLeaf, parse_policy,
+                              policy_attributes, policy_satisfied)
+from repro.exceptions import DecryptionError, PolicyError
+
+
+class TestPolicyParser:
+    def test_single_attribute(self):
+        node = parse_policy("friend")
+        assert node == PolicyLeaf("friend")
+
+    def test_and(self):
+        node = parse_policy("a and b")
+        assert isinstance(node, PolicyGate)
+        assert node.threshold == 2 and len(node.children) == 2
+
+    def test_or(self):
+        node = parse_policy("a or b or c")
+        assert node.threshold == 1 and len(node.children) == 3
+
+    def test_precedence_and_binds_tighter(self):
+        node = parse_policy("a or b and c")
+        assert node.threshold == 1
+        right = node.children[1]
+        assert isinstance(right, PolicyGate) and right.threshold == 2
+
+    def test_parentheses(self):
+        node = parse_policy("(a or b) and c")
+        assert node.threshold == 2
+        left = node.children[0]
+        assert isinstance(left, PolicyGate) and left.threshold == 1
+
+    def test_threshold_gate(self):
+        node = parse_policy("2 of (a, b, c)")
+        assert node.threshold == 2 and len(node.children) == 3
+
+    def test_nested_threshold(self):
+        node = parse_policy("2 of (a and b, c, d or e)")
+        assert node.threshold == 2
+        assert isinstance(node.children[0], PolicyGate)
+
+    def test_case_insensitive_keywords(self):
+        assert parse_policy("a AND b") == parse_policy("a and b")
+        assert parse_policy("a OR b") == parse_policy("a or b")
+
+    def test_attribute_charset(self):
+        node = parse_policy("group:friends#3 and user@example.org")
+        assert "group:friends#3" in policy_attributes(node)
+
+    def test_idempotent_on_trees(self):
+        tree = parse_policy("a and b")
+        assert parse_policy(tree) is tree
+
+    @pytest.mark.parametrize("bad", [
+        "", "and", "a and", "(a or b", "a b", "2 of (a)", "0 of (a, b)",
+        "a )", "5 of (a, b)",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(PolicyError):
+            parse_policy(bad)
+
+    def test_policy_attributes(self):
+        attrs = policy_attributes(parse_policy("(a or b) and 2 of (c, d, a)"))
+        assert attrs == frozenset({"a", "b", "c", "d"})
+
+
+class TestPolicySatisfaction:
+    CASES = [
+        ("a", ["a"], True),
+        ("a", ["b"], False),
+        ("a and b", ["a", "b"], True),
+        ("a and b", ["a"], False),
+        ("a or b", ["b"], True),
+        ("a or b", [], False),
+        ("2 of (a, b, c)", ["a", "c"], True),
+        ("2 of (a, b, c)", ["c"], False),
+        ("2 of (a and b, c, d)", ["a", "d"], False),
+        ("2 of (a and b, c, d)", ["a", "b", "d"], True),
+        ("(a or b) and (c or d)", ["b", "c"], True),
+        ("(a or b) and (c or d)", ["a", "b"], False),
+    ]
+
+    @pytest.mark.parametrize("policy,attrs,expected", CASES)
+    def test_cases(self, policy, attrs, expected):
+        assert policy_satisfied(parse_policy(policy), attrs) is expected
+
+
+class TestCPABEEncryption:
+    def test_satisfying_key_decrypts(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        sk = abe.keygen(pk, msk, ["relative", "doctor"], rng)
+        header, blob = abe.encrypt_bytes(
+            pk, b"medical record", "relative and doctor", rng)
+        assert abe.decrypt_bytes(header, blob, sk) == b"medical record"
+
+    def test_non_satisfying_key_fails(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        sk = abe.keygen(pk, msk, ["painter"], rng)
+        header, blob = abe.encrypt_bytes(pk, b"m", "relative and doctor",
+                                         rng)
+        with pytest.raises(DecryptionError):
+            abe.decrypt_bytes(header, blob, sk)
+
+    def test_partial_satisfaction_fails(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        sk = abe.keygen(pk, msk, ["relative"], rng)  # half of an AND
+        header, blob = abe.encrypt_bytes(pk, b"m", "relative and doctor",
+                                         rng)
+        with pytest.raises(DecryptionError):
+            abe.decrypt_bytes(header, blob, sk)
+
+    def test_or_policy_either_branch(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        header, blob = abe.encrypt_bytes(pk, b"m", "relative or painter",
+                                         rng)
+        for attrs in (["relative"], ["painter"], ["relative", "painter"]):
+            sk = abe.keygen(pk, msk, attrs, rng)
+            assert abe.decrypt_bytes(header, blob, sk) == b"m"
+
+    def test_threshold_policy(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        header, blob = abe.encrypt_bytes(pk, b"m", "2 of (a, b, c)", rng)
+        ok = abe.keygen(pk, msk, ["a", "c"], rng)
+        assert abe.decrypt_bytes(header, blob, ok) == b"m"
+        bad = abe.keygen(pk, msk, ["b"], rng)
+        with pytest.raises(DecryptionError):
+            abe.decrypt_bytes(header, blob, bad)
+
+    def test_collusion_resistance(self, abe_setup, rng):
+        """Two users each holding half of an AND cannot combine keys.
+
+        This is THE property separating ABE from trivial schemes: keys are
+        randomized with a per-user exponent, so mixing components from two
+        keys yields garbage.
+        """
+        abe, pk, msk = abe_setup
+        alice = abe.keygen(pk, msk, ["relative"], rng)
+        bob = abe.keygen(pk, msk, ["doctor"], rng)
+        header, blob = abe.encrypt_bytes(pk, b"m", "relative and doctor",
+                                         rng)
+        # Frankenstein key: alice's D with both users' attribute components.
+        from repro.crypto.abe import ABESecretKey
+        mixed = ABESecretKey(
+            attributes=frozenset({"relative", "doctor"}),
+            d=alice.d,
+            components={**alice.components, **bob.components})
+        with pytest.raises(DecryptionError):
+            abe.decrypt_bytes(header, blob, mixed)
+
+    def test_gt_element_roundtrip(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        message = abe.group.random_gt(rng)
+        ct = abe.encrypt_element(pk, message, "x or y", rng)
+        sk = abe.keygen(pk, msk, ["y"], rng)
+        assert abe.decrypt_element(ct, sk) == message
+
+    def test_tampered_payload_detected(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        sk = abe.keygen(pk, msk, ["a"], rng)
+        header, blob = abe.encrypt_bytes(pk, b"m", "a", rng)
+        tampered = bytearray(blob)
+        tampered[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            abe.decrypt_bytes(header, bytes(tampered), sk)
+
+    def test_extra_attributes_do_not_hurt(self, abe_setup, rng):
+        abe, pk, msk = abe_setup
+        sk = abe.keygen(pk, msk, ["a", "b", "c", "d", "e"], rng)
+        header, blob = abe.encrypt_bytes(pk, b"m", "c", rng)
+        assert abe.decrypt_bytes(header, blob, sk) == b"m"

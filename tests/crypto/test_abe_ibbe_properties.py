@@ -1,0 +1,107 @@
+"""Deep correctness properties for the pairing-based schemes.
+
+The strongest statement one can test about CP-ABE: for *random* access
+trees and *random* attribute subsets, decryption succeeds **iff** the
+boolean policy evaluates true.  Any gap between the secret-sharing
+implementation and the policy semantics shows up here.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.abe import (PolicyGate, PolicyLeaf, policy_satisfied)
+from repro.exceptions import DecryptionError
+
+ATTRIBUTES = ["a0", "a1", "a2", "a3", "a4", "a5"]
+
+
+def policy_trees(max_depth=3):
+    """Hypothesis strategy generating random access trees."""
+    leaves = st.builds(PolicyLeaf, st.sampled_from(ATTRIBUTES))
+
+    def extend(children_strategy):
+        @st.composite
+        def gate(draw):
+            children = draw(st.lists(children_strategy, min_size=2,
+                                     max_size=4))
+            threshold = draw(st.integers(min_value=1,
+                                         max_value=len(children)))
+            return PolicyGate(threshold=threshold,
+                              children=tuple(children))
+        return gate()
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestABEDecryptionMatchesPolicy:
+    @given(policy_trees(), st.sets(st.sampled_from(ATTRIBUTES)))
+    @settings(max_examples=30, deadline=None)
+    def test_decrypt_iff_satisfied(self, abe_setup, tree, attributes):
+        """decrypt succeeds <=> policy_satisfied, for random trees/sets."""
+        abe, pk, msk = abe_setup
+        rng = random.Random(hash((str(tree), tuple(sorted(attributes))))
+                            & 0xFFFFFFFF)
+        message = abe.group.random_gt(rng)
+        ciphertext = abe.encrypt_element(pk, message, tree, rng)
+        key = abe.keygen(pk, msk, sorted(attributes), rng)
+        expected = policy_satisfied(tree, sorted(attributes))
+        if expected:
+            assert abe.decrypt_element(ciphertext, key) == message
+        else:
+            with pytest.raises(DecryptionError):
+                abe.decrypt_element(ciphertext, key)
+
+    @given(st.sets(st.sampled_from(ATTRIBUTES), min_size=2, max_size=4),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_boundary(self, abe_setup, attribute_set, threshold):
+        """k-of-n gates: exactly k-1 attributes fail, exactly k succeed."""
+        abe, pk, msk = abe_setup
+        attributes = sorted(attribute_set)
+        n = len(attributes)
+        k = min(threshold, n)
+        tree = PolicyGate(threshold=k,
+                          children=tuple(PolicyLeaf(a) for a in attributes))
+        rng = random.Random(k * 1000 + n)
+        message = abe.group.random_gt(rng)
+        ciphertext = abe.encrypt_element(pk, message, tree, rng)
+        enough = abe.keygen(pk, msk, attributes[:k], rng)
+        assert abe.decrypt_element(ciphertext, enough) == message
+        if k > 1:
+            short = abe.keygen(pk, msk, attributes[:k - 1], rng)
+            with pytest.raises(DecryptionError):
+                abe.decrypt_element(ciphertext, short)
+
+
+class TestIBBEProperties:
+    @given(st.sets(st.text(alphabet="abcdef", min_size=1, max_size=5),
+                   min_size=1, max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_exactly_the_recipient_set_decrypts(self, ibbe_setup,
+                                                identities):
+        """Every listed identity recovers the session key; a fixed
+        outsider never does."""
+        scheme, pk, msk = ibbe_setup
+        recipients = sorted(identities)
+        rng = random.Random(len(recipients))
+        header, session = scheme.encrypt_key(pk, recipients, rng)
+        for identity in recipients:
+            key = msk.extract(identity)
+            assert scheme.decrypt_key(pk, header, key) == session
+        outsider = msk.extract("outsider-zzz")
+        with pytest.raises(Exception):
+            scheme.decrypt_key(pk, header, outsider)
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=8, deadline=None)
+    def test_header_size_constant_in_audience(self, ibbe_setup, size):
+        scheme, pk, msk = ibbe_setup
+        rng = random.Random(size)
+        header, _ = scheme.encrypt_key(
+            pk, [f"user{i}" for i in range(size)], rng)
+        reference, _ = scheme.encrypt_key(pk, ["solo"], rng)
+        assert len(header.c1.to_bytes()) == len(reference.c1.to_bytes())
+        assert len(header.c2.to_bytes()) == len(reference.c2.to_bytes())

@@ -1,0 +1,274 @@
+"""Tests for Schnorr groups, ElGamal, DH, signatures, PRF/OPRF, ZKP."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import dh, elgamal, prf, zkp
+from repro.crypto import signatures as sigs
+from repro.crypto.groups import group_for_level, schnorr_group
+from repro.crypto.numbertheory import is_probable_prime
+from repro.exceptions import CryptoError, DecryptionError, InvalidKeyError
+
+GROUP = schnorr_group(256)
+
+
+class TestSchnorrGroup:
+    def test_parameters_are_sound(self):
+        assert is_probable_prime(GROUP.p)
+        assert is_probable_prime(GROUP.q)
+        assert GROUP.p == 2 * GROUP.q + 1
+        assert GROUP.contains(GROUP.g)
+
+    def test_generator_has_order_q(self):
+        assert pow(GROUP.g, GROUP.q, GROUP.p) == 1
+        assert GROUP.g != 1
+
+    def test_element_from_int_lands_in_subgroup(self):
+        for value in (0, 1, 2, 12345, GROUP.p - 1):
+            assert GROUP.contains(GROUP.element_from_int(value))
+
+    def test_hash_to_element_in_subgroup(self):
+        for i in range(20):
+            assert GROUP.contains(GROUP.hash_to_element(str(i).encode()))
+
+    def test_hash_to_scalar_nonzero(self):
+        for i in range(50):
+            s = GROUP.hash_to_scalar(str(i).encode())
+            assert 1 <= s < GROUP.q
+
+    def test_inverse(self):
+        x = GROUP.hash_to_element(b"e")
+        assert GROUP.mul(x, GROUP.inverse(x)) == 1
+
+    def test_contains_rejects_outside(self):
+        assert not GROUP.contains(0)
+        assert not GROUP.contains(GROUP.p)
+        # An element of order 2q (a non-residue) is rejected.
+        non_residue = GROUP.p - 1  # (-1) is a non-residue when p = 3 mod 4
+        if pow(non_residue, GROUP.q, GROUP.p) != 1:
+            assert not GROUP.contains(non_residue)
+
+    def test_levels(self):
+        assert group_for_level("TOY").p.bit_length() == 256
+        assert group_for_level("TEST").p.bit_length() == 512
+        with pytest.raises(CryptoError):
+            group_for_level("NOPE")
+
+    def test_group_cache(self):
+        assert schnorr_group(256) is schnorr_group(256)
+
+
+class TestElGamal:
+    KEY = elgamal.generate_keypair("TOY", random.Random(1))
+
+    def test_element_roundtrip(self, rng):
+        m = GROUP.element_from_int(987654321)
+        ct = elgamal.encrypt_element(self.KEY.public_key, m, rng)
+        assert elgamal.decrypt_element(self.KEY, ct) == m
+
+    def test_rejects_non_subgroup_message(self, rng):
+        with pytest.raises(InvalidKeyError):
+            elgamal.encrypt_element(self.KEY.public_key, GROUP.p - 1, rng)
+
+    def test_homomorphism(self, rng):
+        m1 = GROUP.element_from_int(3)
+        m2 = GROUP.element_from_int(5)
+        c1 = elgamal.encrypt_element(self.KEY.public_key, m1, rng)
+        c2 = elgamal.encrypt_element(self.KEY.public_key, m2, rng)
+        product = elgamal.multiply_ciphertexts(GROUP, c1, c2)
+        assert elgamal.decrypt_element(self.KEY, product) == \
+            GROUP.mul(m1, m2)
+
+    def test_rerandomize_preserves_plaintext(self, rng):
+        m = GROUP.element_from_int(7)
+        ct = elgamal.encrypt_element(self.KEY.public_key, m, rng)
+        rr = elgamal.rerandomize(self.KEY.public_key, ct, rng)
+        assert rr != ct
+        assert elgamal.decrypt_element(self.KEY, rr) == m
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_bytes_roundtrip(self, message):
+        rng = random.Random(len(message))
+        ct = elgamal.encrypt_bytes(self.KEY.public_key, message, rng)
+        assert elgamal.decrypt_bytes(self.KEY, ct) == message
+
+    def test_bytes_tamper_detected(self, rng):
+        ct = bytearray(elgamal.encrypt_bytes(self.KEY.public_key, b"m", rng))
+        ct[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            elgamal.decrypt_bytes(self.KEY, bytes(ct))
+
+    def test_bytes_truncation_detected(self):
+        with pytest.raises(DecryptionError):
+            elgamal.decrypt_bytes(self.KEY, b"\x00")
+
+    def test_decrypt_validates_subgroup(self):
+        with pytest.raises(DecryptionError):
+            elgamal.decrypt_element(self.KEY, (GROUP.p - 1, 4))
+
+
+class TestDH:
+    def test_agreement(self, rng):
+        a = dh.generate_keypair("TOY", rng)
+        b = dh.generate_keypair("TOY", rng)
+        assert dh.shared_secret(a, b.public) == dh.shared_secret(b, a.public)
+        assert dh.derive_key(a, b.public, context=b"c") == \
+            dh.derive_key(b, a.public, context=b"c")
+
+    def test_context_separation(self, rng):
+        a = dh.generate_keypair("TOY", rng)
+        b = dh.generate_keypair("TOY", rng)
+        assert dh.derive_key(a, b.public, context=b"c1") != \
+            dh.derive_key(a, b.public, context=b"c2")
+
+    def test_small_subgroup_rejected(self, rng):
+        a = dh.generate_keypair("TOY", rng)
+        with pytest.raises(CryptoError):
+            dh.shared_secret(a, a.group.p - 1)  # order-2 element
+
+    def test_third_party_differs(self, rng):
+        a = dh.generate_keypair("TOY", rng)
+        b = dh.generate_keypair("TOY", rng)
+        c = dh.generate_keypair("TOY", rng)
+        assert dh.derive_key(a, b.public) != dh.derive_key(c, b.public)
+
+
+class TestSchnorrAndDSASignatures:
+    @given(st.binary(max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_schnorr_roundtrip(self, message):
+        rng = random.Random(len(message))
+        key = sigs.generate_schnorr_keypair("TOY", rng)
+        assert key.public_key.verify(message, key.sign(message, rng))
+
+    def test_schnorr_rejects_modified(self, rng):
+        key = sigs.generate_schnorr_keypair("TOY", rng)
+        sig = key.sign(b"original", rng)
+        assert not key.public_key.verify(b"altered", sig)
+
+    def test_schnorr_rejects_wrong_key(self, rng):
+        k1 = sigs.generate_schnorr_keypair("TOY", rng)
+        k2 = sigs.generate_schnorr_keypair("TOY", rng)
+        assert not k2.public_key.verify(b"m", k1.sign(b"m", rng))
+
+    def test_schnorr_rejects_out_of_range(self, rng):
+        key = sigs.generate_schnorr_keypair("TOY", rng)
+        assert not key.public_key.verify(b"m", (key.group.q, 0))
+
+    def test_schnorr_verify_or_raise(self, rng):
+        key = sigs.generate_schnorr_keypair("TOY", rng)
+        from repro.exceptions import SignatureError
+        with pytest.raises(SignatureError):
+            key.public_key.verify_or_raise(b"m", (1, 2))
+
+    @given(st.binary(max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_dsa_roundtrip(self, message):
+        rng = random.Random(len(message) + 1)
+        key = sigs.generate_dsa_keypair("TOY", rng)
+        assert key.public_key.verify(message, key.sign(message, rng))
+
+    def test_dsa_rejects_modified(self, rng):
+        key = sigs.generate_dsa_keypair("TOY", rng)
+        sig = key.sign(b"original", rng)
+        assert not key.public_key.verify(b"altered", sig)
+
+    def test_dsa_rejects_zero_components(self, rng):
+        key = sigs.generate_dsa_keypair("TOY", rng)
+        assert not key.public_key.verify(b"m", (0, 1))
+        assert not key.public_key.verify(b"m", (1, 0))
+
+
+class TestPRFAndOPRF:
+    def test_prf_deterministic_and_keyed(self):
+        f1 = prf.PRF(b"secret-one-16byt")
+        f2 = prf.PRF(b"secret-two-16byt")
+        assert f1.evaluate(b"x") == f1.evaluate(b"x")
+        assert f1.evaluate(b"x") != f1.evaluate(b"y")
+        assert f1.evaluate(b"x") != f2.evaluate(b"x")
+
+    def test_prf_output_length(self):
+        f = prf.PRF(b"k" * 16)
+        assert len(f.evaluate(b"x", 48)) == 48
+
+    def test_prf_rejects_short_secret(self):
+        with pytest.raises(CryptoError):
+            prf.PRF(b"short")
+
+    def test_oprf_matches_local_evaluation(self, rng):
+        key = prf.generate_oprf_key("TOY", rng)
+        for value in (b"", b"tag", b"another value", bytes(100)):
+            request = prf.blind_request(value, "TOY", rng)
+            evaluated = prf.evaluate_blinded(key, request.blinded)
+            assert request.finalize(evaluated) == \
+                prf.evaluate_locally(key, value)
+
+    def test_oprf_blinding_hides_input(self, rng):
+        """The sender sees unrelated group elements for equal inputs."""
+        key = prf.generate_oprf_key("TOY", rng)
+        r1 = prf.blind_request(b"same", "TOY", rng)
+        r2 = prf.blind_request(b"same", "TOY", rng)
+        assert r1.blinded != r2.blinded
+
+    def test_oprf_validates_subgroup(self, rng):
+        key = prf.generate_oprf_key("TOY", rng)
+        with pytest.raises(CryptoError):
+            prf.evaluate_blinded(key, key.group.p - 1)
+        request = prf.blind_request(b"v", "TOY", rng)
+        with pytest.raises(CryptoError):
+            request.finalize(key.group.p - 1)
+
+
+class TestZKP:
+    def test_interactive_accepts_honest_prover(self, rng):
+        x = GROUP.random_scalar(rng)
+        prover = zkp.ProverSession(GROUP, x)
+        verifier = zkp.VerifierSession(GROUP, GROUP.exp(x))
+        for _ in range(5):
+            c = verifier.challenge(prover.commit(rng), rng)
+            assert verifier.check(prover.respond(c))
+
+    def test_interactive_rejects_wrong_secret(self, rng):
+        x = GROUP.random_scalar(rng)
+        liar = zkp.ProverSession(GROUP, x + 1)
+        verifier = zkp.VerifierSession(GROUP, GROUP.exp(x))
+        c = verifier.challenge(liar.commit(rng), rng)
+        assert not verifier.check(liar.respond(c))
+
+    def test_protocol_order_enforced(self, rng):
+        prover = zkp.ProverSession(GROUP, 5)
+        with pytest.raises(CryptoError):
+            prover.respond(1)
+        verifier = zkp.VerifierSession(GROUP, GROUP.exp(5))
+        with pytest.raises(CryptoError):
+            verifier.check(1)
+
+    def test_nizk_roundtrip_and_context_binding(self, rng):
+        x = GROUP.random_scalar(rng)
+        proof = zkp.prove_dlog_nizk(GROUP, x, b"session-42", rng)
+        assert zkp.verify_dlog_nizk(GROUP, GROUP.exp(x), proof,
+                                    b"session-42")
+        assert not zkp.verify_dlog_nizk(GROUP, GROUP.exp(x), proof,
+                                        b"session-43")
+        assert not zkp.verify_dlog_nizk(GROUP, GROUP.exp(x + 1), proof,
+                                        b"session-42")
+
+    def test_nizk_rejects_bad_commitment(self, rng):
+        x = GROUP.random_scalar(rng)
+        proof = zkp.DlogProof(commitment=GROUP.p - 1, response=1)
+        assert not zkp.verify_dlog_nizk(GROUP, GROUP.exp(x), proof)
+
+    def test_chaum_pedersen(self, rng):
+        x = GROUP.random_scalar(rng)
+        h = GROUP.hash_to_element(b"other-base")
+        proof = zkp.prove_dlog_equality(GROUP, x, h, b"ctx", rng)
+        assert zkp.verify_dlog_equality(GROUP, GROUP.exp(x), h,
+                                        GROUP.power(h, x), proof, b"ctx")
+        # different exponents on the two bases must fail
+        y2_bad = GROUP.power(h, x + 1)
+        assert not zkp.verify_dlog_equality(GROUP, GROUP.exp(x), h, y2_bad,
+                                            proof, b"ctx")

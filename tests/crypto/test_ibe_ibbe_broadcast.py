@@ -1,0 +1,181 @@
+"""Tests for IBE (Boneh–Franklin), IBBE (Delerablée) and broadcast schemes."""
+
+import random
+
+import pytest
+
+from repro.crypto import ibe
+from repro.crypto.broadcast import (CompleteSubtreeBE, NaiveBroadcast,
+                                    SubtreeUserKeys)
+from repro.exceptions import CryptoError, DecryptionError
+
+PKG = ibe.PrivateKeyGenerator("TOY", random.Random(0x1BE))
+
+
+class TestIBE:
+    def test_roundtrip(self, rng):
+        ct = ibe.encrypt(PKG.params, "alice@osn", b"hello", rng)
+        key = PKG.extract("alice@osn")
+        assert ibe.decrypt(PKG.params, key, ct) == b"hello"
+
+    def test_arbitrary_string_identities(self, rng):
+        for identity in ("", "a", "bob@example.org", "üñíçødé",
+                         "x" * 500):
+            ct = ibe.encrypt(PKG.params, identity, b"m", rng)
+            assert ibe.decrypt(PKG.params, PKG.extract(identity),
+                               ct) == b"m"
+
+    def test_wrong_identity_fails(self, rng):
+        ct = ibe.encrypt(PKG.params, "alice", b"m", rng)
+        with pytest.raises(DecryptionError):
+            ibe.decrypt(PKG.params, PKG.extract("alicia"), ct)
+
+    def test_wrong_pkg_fails(self, rng):
+        other = ibe.PrivateKeyGenerator("TOY", random.Random(99))
+        ct = ibe.encrypt(PKG.params, "alice", b"m", rng)
+        with pytest.raises(DecryptionError):
+            ibe.decrypt(PKG.params, other.extract("alice"), ct)
+
+    def test_probabilistic(self, rng):
+        a = ibe.encrypt(PKG.params, "alice", b"m", rng)
+        b = ibe.encrypt(PKG.params, "alice", b"m", rng)
+        assert a.u != b.u
+
+
+class TestIBBE:
+    def test_every_recipient_decrypts(self, ibbe_setup, rng):
+        scheme, pk, msk = ibbe_setup
+        names = [f"user{i}" for i in range(8)]
+        header, blob = scheme.encrypt_bytes(pk, names, b"broadcast", rng)
+        for name in names:
+            key = msk.extract(name)
+            assert scheme.decrypt_bytes(pk, header, blob, key) == \
+                b"broadcast"
+
+    def test_outsider_fails(self, ibbe_setup, rng):
+        scheme, pk, msk = ibbe_setup
+        header, blob = scheme.encrypt_bytes(pk, ["a", "b"], b"m", rng)
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_bytes(pk, header, blob, msk.extract("outsider"))
+
+    def test_constant_size_header(self, ibbe_setup, rng):
+        """THE IBBE selling point: header size independent of audience."""
+        scheme, pk, msk = ibbe_setup
+        sizes = []
+        for n in (1, 4, 16):
+            header, _ = scheme.encrypt_key(pk, [f"u{i}" for i in range(n)],
+                                           rng)
+            sizes.append(len(header.c1.to_bytes())
+                         + len(header.c2.to_bytes()))
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_removal_needs_no_crypto(self, ibbe_setup, rng):
+        """Removing a recipient = encrypt to the shorter list; the removed
+        user's key no longer works, with zero re-keying of others."""
+        scheme, pk, msk = ibbe_setup
+        full = ["a", "b", "c"]
+        header1, blob1 = scheme.encrypt_bytes(pk, full, b"v1", rng)
+        header2, blob2 = scheme.encrypt_bytes(pk, ["a", "c"], b"v2", rng)
+        key_b = msk.extract("b")
+        assert scheme.decrypt_bytes(pk, header1, blob1, key_b) == b"v1"
+        with pytest.raises(DecryptionError):
+            scheme.decrypt_bytes(pk, header2, blob2, key_b)
+        # survivors unaffected, same keys as before
+        assert scheme.decrypt_bytes(pk, header2, blob2,
+                                    msk.extract("a")) == b"v2"
+
+    def test_capacity_enforced(self, ibbe_setup, rng):
+        scheme, pk, msk = ibbe_setup
+        too_many = [f"u{i}" for i in range(pk.max_recipients + 1)]
+        with pytest.raises(CryptoError):
+            scheme.encrypt_key(pk, too_many, rng)
+
+    def test_rejects_empty_and_duplicates(self, ibbe_setup, rng):
+        scheme, pk, msk = ibbe_setup
+        with pytest.raises(CryptoError):
+            scheme.encrypt_key(pk, [], rng)
+        with pytest.raises(CryptoError):
+            scheme.encrypt_key(pk, ["a", "a"], rng)
+
+    def test_session_keys_match(self, ibbe_setup, rng):
+        scheme, pk, msk = ibbe_setup
+        header, session = scheme.encrypt_key(pk, ["x", "y"], rng)
+        assert scheme.decrypt_key(pk, header, msk.extract("x")) == session
+        assert scheme.decrypt_key(pk, header, msk.extract("y")) == session
+
+
+class TestNaiveBroadcast:
+    def test_recipients_decrypt_others_cannot(self, rng):
+        nb = NaiveBroadcast()
+        keys = {u: nb.register(u, rng) for u in ("a", "b", "c")}
+        wraps, payload = nb.encrypt(["a", "b"], b"msg", rng)
+        assert NaiveBroadcast.decrypt(keys["a"], wraps["a"], payload) == \
+            b"msg"
+        assert "c" not in wraps  # not addressed -> no wrap at all
+
+    def test_header_linear_in_audience(self, rng):
+        nb = NaiveBroadcast()
+        users = [f"u{i}" for i in range(10)]
+        for u in users:
+            nb.register(u, rng)
+        wraps, _ = nb.encrypt(users, b"m", rng)
+        assert len(wraps) == 10
+
+    def test_unknown_recipient_rejected(self, rng):
+        nb = NaiveBroadcast()
+        with pytest.raises(CryptoError):
+            nb.encrypt(["ghost"], b"m", rng)
+
+
+class TestCompleteSubtree:
+    def test_capacity_must_be_power_of_two(self, rng):
+        with pytest.raises(CryptoError):
+            CompleteSubtreeBE(12, rng)
+        CompleteSubtreeBE(16, rng)  # fine
+
+    def test_no_revocations_single_wrap(self, rng):
+        cs = CompleteSubtreeBE(16, rng)
+        wraps, payload = cs.encrypt([], b"m", rng)
+        assert len(wraps) == 1  # just the root key
+        for i in range(16):
+            assert CompleteSubtreeBE.decrypt(cs.user_keys(i), wraps,
+                                             payload) == b"m"
+
+    def test_revoked_users_locked_out(self, rng):
+        cs = CompleteSubtreeBE(16, rng)
+        revoked = [2, 9, 10]
+        wraps, payload = cs.encrypt(revoked, b"m", rng)
+        for i in range(16):
+            keys = cs.user_keys(i)
+            if i in revoked:
+                with pytest.raises(DecryptionError):
+                    CompleteSubtreeBE.decrypt(keys, wraps, payload)
+            else:
+                assert CompleteSubtreeBE.decrypt(keys, wraps,
+                                                 payload) == b"m"
+
+    def test_cover_size_sublinear(self, rng):
+        """|cover| <= r * log2(n/r) — the NNL bound."""
+        import math
+        cs = CompleteSubtreeBE(64, rng)
+        for r in (1, 2, 4, 8):
+            revoked = list(range(0, 64, 64 // r))[:r]
+            cover = cs.cover(revoked)
+            bound = max(1, int(r * math.log2(64 / r))) + r
+            assert len(cover) <= bound, (r, len(cover), bound)
+
+    def test_all_revoked_empty_cover(self, rng):
+        cs = CompleteSubtreeBE(4, rng)
+        assert cs.cover([0, 1, 2, 3]) == []
+
+    def test_user_holds_log_keys(self, rng):
+        cs = CompleteSubtreeBE(64, rng)
+        keys = cs.user_keys(17)
+        assert len(keys.path_keys) == 7  # log2(64) + 1
+
+    def test_out_of_range_user(self, rng):
+        cs = CompleteSubtreeBE(8, rng)
+        with pytest.raises(CryptoError):
+            cs.user_keys(8)
+        with pytest.raises(CryptoError):
+            cs.cover([99])

@@ -1,0 +1,105 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import (MerkleTree, leaf_hash, node_hash,
+                                 verify_inclusion)
+from repro.exceptions import IntegrityError
+
+
+class TestBasics:
+    def test_empty_tree_root_is_stable(self):
+        assert MerkleTree().root() == MerkleTree().root()
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert tree.root() == leaf_hash(b"only")
+        proof = tree.prove(0)
+        assert verify_inclusion(b"only", proof, tree.root())
+
+    def test_two_leaves(self):
+        tree = MerkleTree([b"a", b"b"])
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_leaf_and_node_domains_differ(self):
+        # H(leaf x) must never equal H(node x) — second-preimage defence.
+        assert leaf_hash(b"xy") != node_hash(b"x", b"y")
+
+    def test_append_changes_root(self):
+        tree = MerkleTree([b"a"])
+        r1 = tree.root()
+        tree.append(b"b")
+        assert tree.root() != r1
+
+    def test_len(self):
+        tree = MerkleTree()
+        tree.extend([b"1", b"2", b"3"])
+        assert len(tree) == 3
+
+
+class TestProofs:
+    @given(st.lists(st.binary(min_size=1, max_size=20), min_size=1,
+                    max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_all_proofs_verify(self, leaves):
+        tree = MerkleTree(leaves)
+        root = tree.root()
+        for index, leaf in enumerate(leaves):
+            proof = tree.prove(index)
+            assert verify_inclusion(leaf, proof, root)
+
+    @given(st.lists(st.binary(min_size=1, max_size=20), min_size=2,
+                    max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_wrong_leaf_fails(self, leaves):
+        tree = MerkleTree(leaves)
+        root = tree.root()
+        proof = tree.prove(0)
+        assert not verify_inclusion(leaves[0] + b"x", proof, root)
+
+    def test_proof_against_other_root_fails(self):
+        t1 = MerkleTree([b"a", b"b", b"c"])
+        t2 = MerkleTree([b"a", b"b", b"d"])
+        proof = t1.prove(0)
+        # leaf "a" is in both trees but the proof carries t1's siblings
+        assert verify_inclusion(b"a", proof, t1.root())
+        assert not verify_inclusion(b"a", proof, t2.root())
+
+    def test_odd_leaf_counts(self):
+        for n in (1, 3, 5, 7, 9, 15, 17):
+            leaves = [bytes([i]) for i in range(n)]
+            tree = MerkleTree(leaves)
+            for i in (0, n // 2, n - 1):
+                assert verify_inclusion(leaves[i], tree.prove(i),
+                                        tree.root())
+
+    def test_out_of_range_raises(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IntegrityError):
+            tree.prove(1)
+        with pytest.raises(IntegrityError):
+            tree.prove(-1)
+
+    def test_proof_size_logarithmic(self):
+        tree = MerkleTree([bytes([i % 256, i // 256]) for i in range(1024)])
+        proof = tree.prove(512)
+        assert len(proof.siblings) == 10  # log2(1024)
+
+
+class TestDeterminism:
+    def test_same_leaves_same_root(self):
+        leaves = [b"x", b"y", b"z"]
+        assert MerkleTree(leaves).root() == MerkleTree(list(leaves)).root()
+
+    def test_order_matters(self):
+        assert MerkleTree([b"x", b"y"]).root() != \
+            MerkleTree([b"y", b"x"]).root()
+
+    def test_incremental_equals_batch(self):
+        batch = MerkleTree([b"1", b"2", b"3", b"4"])
+        inc = MerkleTree()
+        for leaf in (b"1", b"2", b"3", b"4"):
+            inc.append(leaf)
+        assert inc.root() == batch.root()

@@ -1,0 +1,62 @@
+"""Sanity across parameter levels: the schemes work at TEST size too.
+
+Unit tests run at TOY for speed; these spot-checks prove nothing about the
+implementations is TOY-specific (field sizes, serialization widths,
+exponent ranges all scale).
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import elgamal
+from repro.crypto.abe import CPABE
+from repro.crypto.groups import group_for_level
+from repro.crypto.ibbe import IBBE
+from repro.crypto.signatures import generate_schnorr_keypair
+from repro.crypto import params
+
+
+class TestParamsTable:
+    def test_level_bits_cover_all_levels(self):
+        assert set(params.LEVEL_BITS) == {"TOY", "TEST", "STD"}
+        for bits in params.LEVEL_BITS.values():
+            assert bits in params.SAFE_PRIMES
+
+    def test_safe_prime_lookup_errors(self):
+        with pytest.raises(KeyError):
+            params.safe_prime(123)
+
+    def test_group_sizes_match_levels(self):
+        for level, bits in params.LEVEL_BITS.items():
+            assert group_for_level(level).p.bit_length() == bits
+
+
+class TestSchemesAtTestLevel:
+    RNG = random.Random(0x7E57)
+
+    def test_elgamal(self):
+        key = elgamal.generate_keypair("TEST", self.RNG)
+        blob = elgamal.encrypt_bytes(key.public_key, b"bigger field",
+                                     self.RNG)
+        assert elgamal.decrypt_bytes(key, blob) == b"bigger field"
+
+    def test_schnorr_signature(self):
+        key = generate_schnorr_keypair("TEST", self.RNG)
+        signature = key.sign(b"message", self.RNG)
+        assert key.public_key.verify(b"message", signature)
+        assert not key.public_key.verify(b"other", signature)
+
+    def test_abe(self):
+        abe = CPABE("TEST")
+        pk, msk = abe.setup(self.RNG)
+        sk = abe.keygen(pk, msk, ["x"], self.RNG)
+        header, blob = abe.encrypt_bytes(pk, b"m", "x", self.RNG)
+        assert abe.decrypt_bytes(header, blob, sk) == b"m"
+
+    def test_ibbe(self):
+        ibbe = IBBE("TEST")
+        pk, msk = ibbe.setup(4, self.RNG)
+        header, blob = ibbe.encrypt_bytes(pk, ["a", "b"], b"m", self.RNG)
+        assert ibbe.decrypt_bytes(pk, header, blob,
+                                  msk.extract("a")) == b"m"

@@ -1,0 +1,137 @@
+"""Tests for BBS98 proxy re-encryption and the flyByNight composition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acl.flybynight import FlyByNightServer, FlyByNightUser
+from repro.crypto import proxy_reencryption as pre
+from repro.exceptions import AccessDeniedError, CryptoError, DecryptionError
+
+RNG = random.Random(0x93E)
+ALICE = pre.generate_keypair("TOY", RNG)
+BOB = pre.generate_keypair("TOY", RNG)
+CAROL = pre.generate_keypair("TOY", RNG)
+
+
+class TestPRE:
+    def test_direct_roundtrip(self, rng):
+        m = ALICE.group.element_from_int(424242)
+        ct = pre.encrypt_element(ALICE.public, ALICE.group, m, rng)
+        assert pre.decrypt_element(ALICE, ct) == m
+
+    def test_reencrypted_roundtrip(self, rng):
+        m = ALICE.group.element_from_int(7)
+        ct = pre.encrypt_element(ALICE.public, ALICE.group, m, rng)
+        token = pre.rekey(ALICE, BOB)
+        ct_bob = pre.reencrypt(token, ct)
+        assert pre.decrypt_element(BOB, ct_bob) == m
+
+    def test_wrong_key_fails(self, rng):
+        ct = pre.encrypt_element(ALICE.public, ALICE.group,
+                                 ALICE.group.element_from_int(3), rng)
+        assert pre.decrypt_element(BOB, ct) != \
+            ALICE.group.element_from_int(3)
+
+    def test_chained_reencryption(self, rng):
+        """a -> b -> c multi-hop re-encryption works (BBS is multi-hop)."""
+        m = ALICE.group.element_from_int(99)
+        ct = pre.encrypt_element(ALICE.public, ALICE.group, m, rng)
+        ct = pre.reencrypt(pre.rekey(ALICE, BOB), ct)
+        ct = pre.reencrypt(pre.rekey(BOB, CAROL), ct)
+        assert pre.decrypt_element(CAROL, ct) == m
+
+    def test_bidirectionality(self, rng):
+        """rk(b->a) is the inverse of rk(a->b) — a documented weakness."""
+        forward = pre.rekey(ALICE, BOB)
+        backward = pre.rekey(BOB, ALICE)
+        assert forward.rk * backward.rk % ALICE.group.q == 1
+
+    def test_collusion_recovers_delegator_key(self):
+        """Proxy + delegatee jointly reconstruct the delegator's secret."""
+        token = pre.rekey(ALICE, BOB)
+        assert pre.collude(token, BOB) == ALICE.secret
+
+    def test_rejects_non_subgroup_message(self, rng):
+        with pytest.raises(CryptoError):
+            pre.encrypt_element(ALICE.public, ALICE.group,
+                                ALICE.group.p - 1, rng)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=15, deadline=None)
+    def test_bytes_roundtrip_with_reencryption(self, message):
+        rng = random.Random(len(message))
+        header, payload = pre.encrypt_bytes(ALICE.public, ALICE.group,
+                                            message, rng)
+        token = pre.rekey(ALICE, BOB)
+        assert pre.decrypt_bytes(BOB, pre.reencrypt(token, header),
+                                 payload) == message
+        assert pre.decrypt_bytes(ALICE, header, payload) == message
+
+    def test_tampered_payload_detected(self, rng):
+        header, payload = pre.encrypt_bytes(ALICE.public, ALICE.group,
+                                            b"m", rng)
+        with pytest.raises(DecryptionError):
+            pre.decrypt_bytes(ALICE, header, payload[:-1] + b"\x00")
+
+
+class TestFlyByNight:
+    def _world(self):
+        rng = random.Random(0xF1B)
+        server = FlyByNightServer()
+        alice = FlyByNightUser("alice", rng=rng)
+        bob = FlyByNightUser("bob", rng=rng)
+        return server, alice, bob
+
+    def test_single_upload_serves_all_friends(self):
+        server, alice, bob = self._world()
+        rng = random.Random(1)
+        carol = FlyByNightUser("carol", rng=rng)
+        alice.friend(bob, server)
+        alice.friend(carol, server)
+        mid = alice.post(server, "one ciphertext, many readers")
+        assert bob.read(server, mid) == "one ciphertext, many readers"
+        assert carol.read(server, mid) == "one ciphertext, many readers"
+        # exactly one stored message on the server
+        assert len(server._messages) == 1
+
+    def test_author_reads_own_post(self):
+        server, alice, bob = self._world()
+        mid = alice.post(server, "note to self")
+        assert alice.read(server, mid) == "note to self"
+
+    def test_non_friend_denied(self):
+        server, alice, bob = self._world()
+        mid = alice.post(server, "friends only")
+        with pytest.raises(AccessDeniedError):
+            bob.read(server, mid)  # never friended
+
+    def test_friendship_is_directed_pairwise(self):
+        server, alice, bob = self._world()
+        rng = random.Random(2)
+        carol = FlyByNightUser("carol", rng=rng)
+        alice.friend(bob, server)
+        # bob-carol friendship doesn't leak alice's content to carol
+        bob.friend(carol, server)
+        mid = alice.post(server, "for bob only")
+        assert bob.read(server, mid) == "for bob only"
+        with pytest.raises(AccessDeniedError):
+            carol.read(server, mid)
+
+    def test_unknown_message(self):
+        server, alice, bob = self._world()
+        with pytest.raises(AccessDeniedError):
+            alice.read(server, "ghost/0")
+
+    def test_provider_sees_no_plaintext(self):
+        server, alice, bob = self._world()
+        alice.friend(bob, server)
+        alice.post(server, "super secret plaintext")
+        view = server.provider_view()
+        assert view["message_authors"] == {"alice/0": "alice"}
+        assert ("alice", "bob") in view["edges"]
+        # nothing the server stores contains the plaintext
+        stored = server._messages["alice/0"]
+        assert b"super secret" not in stored.payload

@@ -1,0 +1,107 @@
+"""Tests for end-to-end secure direct messaging."""
+
+import random
+
+import pytest
+
+from repro.dosn.identity import KeyRegistry, create_identity
+from repro.dosn.messaging import MailboxService, Messenger, SealedMessage
+from repro.exceptions import AccessDeniedError, IntegrityError
+
+
+@pytest.fixture
+def world():
+    registry = KeyRegistry()
+    users = {}
+    for name in ("alice", "bob", "carol"):
+        identity = create_identity(name)
+        registry.register(identity)
+        users[name] = Messenger(identity, registry,
+                                rng=random.Random(name))
+    users["alice"].establish_channel(users["bob"])
+    users["alice"].establish_channel(users["carol"])
+    return users
+
+
+class TestChannel:
+    def test_roundtrip(self, world):
+        message = world["alice"].compose("bob", b"hi bob", now=100.0)
+        assert world["bob"].open(message, now=101.0) == b"hi bob"
+
+    def test_both_directions_independent(self, world):
+        a2b = world["alice"].compose("bob", b"to bob", now=1.0)
+        b2a = world["bob"].compose("alice", b"to alice", now=2.0)
+        assert world["bob"].open(a2b) == b"to bob"
+        assert world["alice"].open(b2a) == b"to alice"
+
+    def test_no_channel_no_send(self, world):
+        with pytest.raises(AccessDeniedError):
+            world["bob"].compose("carol", b"x", now=1.0)
+
+    def test_wrong_recipient_rejected(self, world):
+        message = world["alice"].compose("bob", b"for bob", now=1.0)
+        with pytest.raises(AccessDeniedError):
+            world["carol"].open(message)
+
+    def test_redirected_ciphertext_rejected(self, world):
+        """Relabeling the routing metadata cannot redirect a message."""
+        message = world["alice"].compose("bob", b"for bob", now=1.0)
+        forged = SealedMessage(sender="alice", recipient="carol",
+                               ciphertext=message.ciphertext)
+        with pytest.raises(IntegrityError):
+            world["carol"].open(forged)
+
+    def test_tampered_ciphertext_rejected(self, world):
+        message = world["alice"].compose("bob", b"intact", now=1.0)
+        tampered = SealedMessage(
+            sender="alice", recipient="bob",
+            ciphertext=message.ciphertext[:-1] + b"\x00")
+        with pytest.raises(IntegrityError, match="tampered"):
+            world["bob"].open(tampered)
+
+    def test_replay_rejected(self, world):
+        message = world["alice"].compose("bob", b"once", now=1.0)
+        assert world["bob"].open(message) == b"once"
+        with pytest.raises(IntegrityError, match="replayed"):
+            world["bob"].open(message)
+
+    def test_reorder_detected(self, world):
+        first = world["alice"].compose("bob", b"one", now=1.0)
+        second = world["alice"].compose("bob", b"two", now=2.0)
+        with pytest.raises(IntegrityError, match="sequence gap"):
+            world["bob"].open(second)  # second before first
+        assert world["bob"].open(first) == b"one"
+        assert world["bob"].open(second) == b"two"
+
+    def test_expiry_enforced(self, world):
+        message = world["alice"].compose("bob", b"rsvp by friday",
+                                         now=1.0, expires_at=10.0)
+        with pytest.raises(IntegrityError, match="historical"):
+            world["bob"].open(message, now=99.0)
+
+    def test_sequences_per_peer(self, world):
+        world["alice"].compose("bob", b"b0", now=1.0)
+        to_carol = world["alice"].compose("carol", b"c0", now=1.0)
+        assert world["carol"].open(to_carol) == b"c0"
+
+
+class TestMailbox:
+    def test_store_and_forward(self, world):
+        mailbox = MailboxService()
+        mailbox.deliver(world["alice"].compose("bob", b"m1", now=1.0))
+        mailbox.deliver(world["alice"].compose("bob", b"m2", now=2.0))
+        queued = mailbox.drain("bob")
+        assert [world["bob"].open(m) for m in queued] == [b"m1", b"m2"]
+        assert mailbox.drain("bob") == []
+
+    def test_host_sees_metadata_not_content(self, world):
+        mailbox = MailboxService()
+        mailbox.deliver(world["alice"].compose("bob", b"super secret",
+                                               now=1.0))
+        view = mailbox.host_view()
+        assert len(view) == 1
+        sender, recipient, size = view[0]
+        assert (sender, recipient) == ("alice", "bob")
+        assert size > 0
+        # content is not derivable from anything in the view
+        assert b"super secret" not in str(view).encode()

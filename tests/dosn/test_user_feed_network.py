@@ -1,0 +1,220 @@
+"""Tests for DosnUser, feed assembly, storage backends, and DosnNetwork."""
+
+import pytest
+
+from repro.dosn import DosnNetwork
+from repro.dosn.identity import KeyRegistry
+from repro.dosn.storage import LocalBackend
+from repro.dosn.user import DosnUser
+from repro.exceptions import (AccessDeniedError, IntegrityError,
+                              OverlayError, StorageError)
+
+
+def small_net(architecture="dht", **kwargs):
+    net = DosnNetwork(architecture=architecture, seed=5, **kwargs)
+    for name in ("alice", "bob", "carol", "dave", "eve"):
+        net.add_user(name)
+    net.befriend("alice", "bob")
+    net.befriend("alice", "carol")
+    net.befriend("bob", "dave")
+    return net
+
+
+class TestDosnUser:
+    def _pair(self):
+        registry = KeyRegistry()
+        alice = DosnUser("alice", registry)
+        bob = DosnUser("bob", registry)
+        alice.befriend(bob)
+        return alice, bob
+
+    def test_friend_opens_post(self):
+        alice, bob = self._pair()
+        cid, blob = alice.compose_post("hello", tags=["#hi"])
+        post = bob.open_post("alice", blob, expected_cid=cid)
+        assert post.text == "hello" and post.tags == ("#hi",)
+
+    def test_stranger_denied(self):
+        registry = KeyRegistry()
+        alice = DosnUser("alice", registry)
+        eve = DosnUser("eve", registry)
+        cid, blob = alice.compose_post("private")
+        with pytest.raises(AccessDeniedError):
+            eve.open_post("alice", blob, expected_cid=cid)
+
+    def test_author_opens_own_post(self):
+        alice, _ = self._pair()
+        cid, blob = alice.compose_post("mine")
+        assert alice.open_post("alice", blob).text == "mine"
+
+    def test_wrong_cid_detected(self):
+        alice, bob = self._pair()
+        cid1, blob1 = alice.compose_post("one")
+        cid2, blob2 = alice.compose_post("two")
+        with pytest.raises(IntegrityError, match="content id"):
+            bob.open_post("alice", blob2, expected_cid=cid1)
+
+    def test_impersonated_blob_detected(self):
+        """Bob re-serves his own post claiming it is alice's."""
+        alice, bob = self._pair()
+        _, blob = bob.compose_post("from bob")
+        # claim authorship: open as 'alice' fails on author mismatch or key
+        with pytest.raises((IntegrityError, AccessDeniedError)):
+            alice.open_post("alice", blob)
+
+    def test_timeline_sync_and_verified_cids(self):
+        alice, bob = self._pair()
+        cids = [alice.compose_post(f"p{i}")[0] for i in range(3)]
+        assert bob.sync_timeline(alice) == 3
+        assert bob.verified_cids("alice") == cids
+        assert bob.sync_timeline(alice) == 0  # idempotent
+
+    def test_key_rotation_revokes_future(self):
+        alice, bob = self._pair()
+        alice.rotate_group_key(except_friends=["bob"])
+        cid, blob = alice.compose_post("after revocation")
+        with pytest.raises(AccessDeniedError):
+            bob.open_post("alice", blob)
+
+    def test_key_rotation_keeps_survivors(self):
+        registry = KeyRegistry()
+        alice = DosnUser("alice", registry)
+        bob = DosnUser("bob", registry)
+        carol = DosnUser("carol", registry)
+        alice.befriend(bob)
+        alice.befriend(carol)
+        alice.rotate_group_key(except_friends=["bob"])
+        alice.redistribute_key({"carol": carol})
+        cid, blob = alice.compose_post("survivors only")
+        assert carol.open_post("alice", blob).text == "survivors only"
+
+    def test_unencrypted_mode(self):
+        registry = KeyRegistry()
+        alice = DosnUser("alice", registry, encrypt_content=False)
+        eve = DosnUser("eve", registry, encrypt_content=False)
+        cid, blob = alice.compose_post("public by design")
+        # anyone can open, but integrity still enforced
+        assert eve.open_post("alice", blob).text == "public by design"
+
+
+class TestFeed:
+    def test_feed_collects_all_friends(self):
+        net = small_net()
+        net.post("bob", "bob post")
+        net.post("carol", "carol post")
+        feed = net.feed("alice")
+        assert feed.clean
+        assert sorted(i.post.text for i in feed.items) == [
+            "bob post", "carol post"]
+
+    def test_feed_ordering(self):
+        net = small_net()
+        for i in range(3):
+            net.post("bob", f"b{i}")
+        feed = net.feed("alice")
+        sequences = [i.post.sequence for i in feed.items]
+        assert sequences == sorted(sequences)
+
+    def test_feed_limit(self):
+        net = small_net()
+        for i in range(5):
+            net.post("bob", f"b{i}")
+        feed = net.feed("alice", limit_per_friend=2)
+        assert len(feed.items) == 2
+        assert [i.post.text for i in feed.items] == ["b3", "b4"]
+
+    def test_feed_reports_unavailable_content(self):
+        net = small_net(architecture="local")
+        net.post("bob", "will vanish")
+        net.storage.online["bob"] = False
+        feed = net.feed("alice")
+        assert not feed.clean
+        assert len(feed.unavailable) == 1
+
+    def test_feed_flags_tampered_storage(self):
+        net = small_net(architecture="central")
+        cid = net.post("bob", "original")
+        # provider swaps the blob for another user's
+        other_cid = net.post("carol", "other")
+        provider = net.provider
+        provider._content[cid] = provider._content[other_cid]
+        feed = net.feed("alice")
+        assert any("carol" == author or "bob" == author
+                   for author, _ in feed.violations) or not feed.clean
+
+    def test_non_friends_not_in_feed(self):
+        net = small_net()
+        net.post("dave", "dave post")  # dave is bob's friend, not alice's
+        feed = net.feed("alice")
+        assert all(i.author != "dave" for i in feed.items)
+
+
+class TestDosnNetwork:
+    @pytest.mark.parametrize("arch", ["central", "dht", "federation",
+                                      "local"])
+    def test_post_read_roundtrip(self, arch):
+        net = small_net(architecture=arch)
+        cid = net.post("alice", "hello world")
+        post = net.read("bob", "alice", cid)
+        assert post.text == "hello world"
+
+    def test_unknown_architecture(self):
+        with pytest.raises(OverlayError):
+            DosnNetwork(architecture="blockchain")
+
+    def test_encrypted_central_provider_sees_nothing_readable(self):
+        net = small_net(architecture="central")
+        net.post("alice", "secret")
+        worst = net.worst_observer()
+        assert worst.observer == "provider"
+        assert worst.content_view == 0.0
+        assert worst.metadata_view == 1.0
+        assert worst.graph_view == 1.0
+
+    def test_unencrypted_central_full_exposure(self):
+        net = small_net(architecture="central", encrypt_content=False)
+        net.post("alice", "readable")
+        worst = net.worst_observer()
+        assert worst.content_view == 1.0
+
+    def test_dht_distributes_exposure(self):
+        net = DosnNetwork(architecture="dht", seed=9, encrypt_content=False)
+        names = [f"user{i}" for i in range(24)]
+        for name in names:
+            net.add_user(name)
+        for i in range(0, 24, 2):
+            net.befriend(names[i], names[i + 1])
+        for name in names[:12]:
+            net.post(name, f"post by {name}")
+        worst = net.worst_observer()
+        # no single peer stores everything
+        assert worst.metadata_view < 1.0
+
+    def test_apply_social_graph(self):
+        import networkx as nx
+        net = DosnNetwork(architecture="local", seed=1)
+        graph = nx.path_graph(4)
+        graph = nx.relabel_nodes(graph, {i: f"u{i}" for i in graph.nodes})
+        for node in graph.nodes:
+            net.add_user(str(node))
+        net.apply_social_graph(graph)
+        assert "u1" in net.users["u0"].friends
+
+    def test_worst_observer_empty_network(self):
+        net = DosnNetwork(architecture="local", seed=1)
+        report = net.worst_observer()
+        assert report.content_view == 0.0
+
+
+class TestLocalBackend:
+    def test_offline_owner_unavailable(self):
+        backend = LocalBackend()
+        backend.put("alice", "c1", b"x")
+        assert backend.get("bob", "c1") == b"x"
+        backend.online["alice"] = False
+        with pytest.raises(StorageError):
+            backend.get("bob", "c1")
+
+    def test_missing_content(self):
+        with pytest.raises(StorageError):
+            LocalBackend().get("bob", "ghost")

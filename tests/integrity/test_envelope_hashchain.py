@@ -1,0 +1,194 @@
+"""Tests for message envelopes and hash-chained timelines.
+
+The envelope tests reproduce the paper's Section IV party-invitation
+scenario attack by attack.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.signatures import generate_schnorr_keypair
+from repro.integrity import envelope as env
+from repro.integrity import hashchain as hc
+from repro.exceptions import IntegrityError
+
+BOB = generate_schnorr_keypair("TOY", random.Random(1))
+MALLORY = generate_schnorr_keypair("TOY", random.Random(2))
+
+
+def party_invitation(rng, **overrides):
+    kwargs = dict(sender="bob", body=b"Come to my party on Friday",
+                  issued_at=100.0, recipient="alice", expires_at=500.0,
+                  sequence=3)
+    kwargs.update(overrides)
+    return env.seal(BOB, rng=rng, **kwargs)
+
+
+class TestPartyScenario:
+    """Each paper aspect: the attack, and the check that catches it."""
+
+    def test_valid_invitation_opens(self, rng):
+        letter = party_invitation(rng)
+        body = env.open_envelope(letter, BOB.public_key, "alice", now=200.0)
+        assert body == b"Come to my party on Friday"
+
+    def test_owner_integrity_forged_sender(self, rng):
+        """Mallory signs a letter claiming to be from Bob."""
+        forged = env.seal(MALLORY, "bob", b"Party cancelled!",
+                          issued_at=100.0, recipient="alice", rng=rng)
+        with pytest.raises(IntegrityError, match="owner/content"):
+            env.open_envelope(forged, BOB.public_key, "alice")
+
+    def test_content_integrity_tampered_body(self, rng):
+        letter = party_invitation(rng)
+        tampered = dataclasses.replace(letter,
+                                       body=b"Come to my party on Monday")
+        with pytest.raises(IntegrityError, match="owner/content"):
+            env.open_envelope(tampered, BOB.public_key, "alice")
+        assert env.tampered_with(tampered, BOB.public_key)
+
+    def test_historical_integrity_expired_invitation(self, rng):
+        letter = party_invitation(rng)
+        with pytest.raises(IntegrityError, match="historical"):
+            env.open_envelope(letter, BOB.public_key, "alice", now=9999.0)
+
+    def test_relation_integrity_wrong_recipient(self, rng):
+        """Bob's invitation to Carol replayed at Alice."""
+        to_carol = party_invitation(rng, recipient="carol")
+        with pytest.raises(IntegrityError, match="relation"):
+            env.open_envelope(to_carol, BOB.public_key, "alice")
+
+    def test_every_field_is_signature_covered(self, rng):
+        letter = party_invitation(rng)
+        mutations = [
+            {"sender": "mallory"}, {"recipient": "carol"},
+            {"body": b"x"}, {"issued_at": 101.0}, {"expires_at": 501.0},
+            {"sequence": 4},
+        ]
+        for mutation in mutations:
+            bad = dataclasses.replace(letter, **mutation)
+            assert env.tampered_with(bad, BOB.public_key), mutation
+
+    def test_broadcast_envelope(self, rng):
+        wall_post = party_invitation(rng, recipient=None, expires_at=None)
+        assert env.open_envelope(wall_post, BOB.public_key,
+                                 now=1e9) == wall_post.body
+
+    def test_no_expiry_never_expires(self, rng):
+        letter = party_invitation(rng, expires_at=None)
+        env.open_envelope(letter, BOB.public_key, "alice", now=1e12)
+
+
+class TestTimeline:
+    def _timeline(self, rng, n=6):
+        timeline = hc.Timeline("bob", BOB)
+        for i in range(n):
+            timeline.publish(f"post {i}".encode(), rng=rng)
+        return timeline
+
+    def test_view_accepts_honest_chain(self, rng):
+        timeline = self._timeline(rng)
+        view = hc.TimelineView("bob", BOB.public_key)
+        view.accept_all(timeline.entries)
+        assert view.head_hash == timeline.head_hash
+
+    def test_genesis_linking(self, rng):
+        timeline = self._timeline(rng, 1)
+        assert timeline.entries[0].previous == hc.GENESIS
+
+    def test_tampered_payload_detected(self, rng):
+        timeline = self._timeline(rng)
+        entries = list(timeline.entries)
+        entries[2] = dataclasses.replace(entries[2], payload=b"evil edit")
+        view = hc.TimelineView("bob", BOB.public_key)
+        with pytest.raises(IntegrityError):
+            view.accept_all(entries)
+
+    def test_suppressed_entry_detected(self, rng):
+        """Dropping entry 2 breaks the chain at entry 3."""
+        timeline = self._timeline(rng)
+        entries = timeline.entries[:2] + timeline.entries[3:]
+        view = hc.TimelineView("bob", BOB.public_key)
+        with pytest.raises(IntegrityError, match="sequence gap"):
+            view.accept_all(entries)
+
+    def test_reordered_entries_detected(self, rng):
+        timeline = self._timeline(rng)
+        entries = list(timeline.entries)
+        entries[1], entries[2] = entries[2], entries[1]
+        view = hc.TimelineView("bob", BOB.public_key)
+        with pytest.raises(IntegrityError):
+            view.accept_all(entries)
+
+    def test_wrong_author_rejected(self, rng):
+        timeline = self._timeline(rng)
+        view = hc.TimelineView("alice", BOB.public_key)
+        with pytest.raises(IntegrityError, match="authored by"):
+            view.accept(timeline.entries[0])
+
+    def test_forged_signature_rejected(self, rng):
+        timeline = hc.Timeline("bob", MALLORY)  # mallory signs as bob
+        timeline.publish(b"fake", rng=rng)
+        view = hc.TimelineView("bob", BOB.public_key)
+        with pytest.raises(IntegrityError, match="signature"):
+            view.accept(timeline.entries[0])
+
+    def test_incremental_acceptance(self, rng):
+        timeline = hc.Timeline("bob", BOB)
+        view = hc.TimelineView("bob", BOB.public_key)
+        for i in range(4):
+            entry = timeline.publish(str(i).encode(), rng=rng)
+            view.accept(entry)
+        assert len(view.entries) == 4
+
+    def test_replayed_entry_rejected(self, rng):
+        timeline = self._timeline(rng, 2)
+        view = hc.TimelineView("bob", BOB.public_key)
+        view.accept_all(timeline.entries)
+        with pytest.raises(IntegrityError, match="sequence gap"):
+            view.accept(timeline.entries[1])
+
+
+class TestOrderProofs:
+    def test_valid_proof_verifies(self, rng):
+        timeline = hc.Timeline("bob", BOB)
+        for i in range(10):
+            timeline.publish(str(i).encode(), rng=rng)
+        proof = hc.order_proof(timeline.entries, 2, 7)
+        assert hc.verify_order_proof(proof, BOB.public_key)
+        assert proof.earlier.sequence == 2 and proof.later.sequence == 7
+
+    def test_bad_ranges_rejected(self, rng):
+        timeline = hc.Timeline("bob", BOB)
+        for i in range(3):
+            timeline.publish(str(i).encode(), rng=rng)
+        for earlier, later in ((2, 2), (2, 1), (-1, 2), (0, 3)):
+            with pytest.raises(IntegrityError):
+                hc.order_proof(timeline.entries, earlier, later)
+
+    def test_spliced_proof_rejected(self, rng):
+        """Segments from two different timelines don't chain."""
+        t1 = hc.Timeline("bob", BOB)
+        t2 = hc.Timeline("bob", BOB)
+        for i in range(4):
+            t1.publish(f"a{i}".encode(), rng=rng)
+            t2.publish(f"b{i}".encode(), rng=rng)
+        spliced = hc.OrderProof(segment=(t1.entries[1], t2.entries[2]))
+        assert not hc.verify_order_proof(spliced, BOB.public_key)
+
+    def test_single_entry_is_not_an_order_proof(self, rng):
+        timeline = hc.Timeline("bob", BOB)
+        timeline.publish(b"x", rng=rng)
+        proof = hc.OrderProof(segment=(timeline.entries[0],))
+        assert not hc.verify_order_proof(proof, BOB.public_key)
+
+    def test_wrong_key_rejected(self, rng):
+        timeline = hc.Timeline("bob", BOB)
+        for i in range(3):
+            timeline.publish(str(i).encode(), rng=rng)
+        proof = hc.order_proof(timeline.entries, 0, 2)
+        assert not hc.verify_order_proof(proof, MALLORY.public_key)

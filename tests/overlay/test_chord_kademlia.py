@@ -1,0 +1,212 @@
+"""Tests for the Chord and Kademlia structured overlays."""
+
+import statistics
+
+import pytest
+
+from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.overlay.chord import (ChordRing, chord_id, in_interval)
+from repro.overlay.kademlia import (KademliaOverlay, kad_id, xor_distance)
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+def build_ring(n=64, replication=2, seed=0):
+    net = SimNetwork(Simulator(seed))
+    ring = ChordRing(net, replication=replication)
+    for i in range(n):
+        ring.add_node(f"peer{i}")
+    ring.build()
+    return net, ring
+
+
+class TestIntervals:
+    def test_simple_interval(self):
+        assert in_interval(5, 3, 8)
+        assert not in_interval(3, 3, 8)
+        assert not in_interval(8, 3, 8)
+        assert in_interval(8, 3, 8, inclusive_right=True)
+
+    def test_wrapping_interval(self):
+        assert in_interval(1, 250, 5)
+        assert in_interval(255, 250, 5)
+        assert not in_interval(100, 250, 5)
+
+    def test_full_ring(self):
+        assert in_interval(5, 7, 7)
+        assert not in_interval(7, 7, 7)
+
+
+class TestChordCorrectness:
+    def test_lookup_finds_responsible_node(self):
+        net, ring = build_ring(64)
+        for i in range(40):
+            key = f"key{i}"
+            result = ring.lookup(f"peer{i % 64}", key)
+            assert result.owner == ring.owner_of(key)
+
+    def test_hops_logarithmic(self):
+        samples = {}
+        for n in (16, 256):
+            net, ring = build_ring(n)
+            hops = [ring.lookup("peer0", f"k{i}").hops for i in range(60)]
+            samples[n] = statistics.mean(hops)
+        assert samples[16] < samples[256] <= 2 + 0.75 * 8  # ~ O(log n)
+
+    def test_put_get_roundtrip(self):
+        net, ring = build_ring(32)
+        ring.put("peer1", "photo", b"bytes")
+        value, result = ring.get("peer30", "photo")
+        assert value == b"bytes"
+
+    def test_replication_survives_owner_failure(self):
+        net, ring = build_ring(32, replication=3)
+        ring.put("peer0", "doc", b"v")
+        owner = ring.owner_of("doc")
+        ring.nodes[owner].online = False
+        value, _ = ring.get("peer1", "doc")
+        assert value == b"v"
+
+    def test_unreplicated_key_lost_with_owner(self):
+        net, ring = build_ring(32, replication=1)
+        ring.put("peer0", "doc", b"v")
+        owner = ring.owner_of("doc")
+        ring.nodes[owner].online = False
+        with pytest.raises(StorageError):
+            ring.get("peer1", "doc")
+
+    def test_missing_key(self):
+        net, ring = build_ring(16)
+        with pytest.raises(StorageError):
+            ring.get("peer0", "never-stored")
+
+    def test_offline_start_rejected(self):
+        net, ring = build_ring(8)
+        ring.nodes["peer0"].online = False
+        with pytest.raises(LookupError_):
+            ring.lookup("peer0", "k")
+
+    def test_lookup_routes_around_failures(self):
+        net, ring = build_ring(64, replication=4)
+        # Kill 20% of peers (not the start node).
+        for i in range(1, 64, 5):
+            ring.nodes[f"peer{i}"].online = False
+        successes = 0
+        for i in range(30):
+            try:
+                ring.lookup("peer0", f"key{i}")
+                successes += 1
+            except LookupError_:
+                pass
+        assert successes >= 25  # successor lists absorb most failures
+
+    def test_replica_set_size(self):
+        net, ring = build_ring(32, replication=3)
+        assert len(ring.replica_set("k")) == 3
+
+    def test_join_and_stabilize_converges(self):
+        net, ring = build_ring(16)
+        ring.join("latecomer", via="peer0")
+        ring.stabilize_all(rounds=3)
+        result = ring.lookup("latecomer", "anything")
+        assert result.owner == ring.owner_of("anything")
+        # the new node is actually routable as an owner too
+        for i in range(50):
+            key = f"probe{i}"
+            if ring.owner_of(key) == "latecomer":
+                assert ring.lookup("peer3", key).owner == "latecomer"
+                break
+
+    def test_id_collision_rejected(self):
+        net, ring = build_ring(4)
+        with pytest.raises(OverlayError):
+            ring.add_node("peer0")  # same name -> same id
+
+    def test_chord_id_stable(self):
+        assert chord_id("alice") == chord_id("alice")
+        assert chord_id("alice") != chord_id("bob")
+
+
+class TestKademlia:
+    def build(self, n=64, seed=1):
+        net = SimNetwork(Simulator(seed))
+        overlay = KademliaOverlay(net)
+        for i in range(n):
+            overlay.add_node(f"p{i}")
+        overlay.bootstrap()
+        return net, overlay
+
+    def test_xor_metric_axioms(self):
+        a, b, c = kad_id("a"), kad_id("b"), kad_id("c")
+        assert xor_distance(a, a) == 0
+        assert xor_distance(a, b) == xor_distance(b, a)
+        assert xor_distance(a, c) <= xor_distance(a, b) ^ \
+            xor_distance(b, c) or True  # XOR satisfies triangle as identity
+        assert xor_distance(a, c) == xor_distance(a, b) ^ xor_distance(b, c)
+
+    def test_buckets_bounded_by_k(self):
+        net, overlay = self.build(128)
+        for node in overlay.nodes.values():
+            for bucket in node.buckets:
+                assert len(bucket) <= overlay.k
+
+    def test_lookup_converges_to_closest(self):
+        net, overlay = self.build(64)
+        result = overlay.lookup("p0", "target-key")
+        target = kad_id("target-key")
+        found_best = xor_distance(kad_id(result.closest[0]), target)
+        true_best = min(xor_distance(kad_id(n), target)
+                        for n in overlay.nodes)
+        assert found_best == true_best
+
+    def test_put_get(self):
+        net, overlay = self.build(64)
+        overlay.put("p0", "item", b"value")
+        value, result = overlay.get("p9", "item")
+        assert value == b"value"
+
+    def test_value_replicated_k_times(self):
+        net, overlay = self.build(64)
+        overlay.put("p0", "item", b"v")
+        holders = [n for n, node in overlay.nodes.items()
+                   if "item" in node.store]
+        assert len(holders) == overlay.k
+
+    def test_get_missing_raises(self):
+        net, overlay = self.build(16)
+        with pytest.raises(StorageError):
+            overlay.get("p0", "ghost")
+
+    def test_survives_node_failures(self):
+        net, overlay = self.build(64)
+        overlay.put("p0", "item", b"v")
+        holders = [n for n, node in overlay.nodes.items()
+                   if "item" in node.store]
+        for holder in holders[:4]:  # kill half the k=8 replicas
+            overlay.nodes[holder].online = False
+        value, _ = overlay.get("p33", "item")
+        assert value == b"v"
+
+    def test_offline_start_rejected(self):
+        net, overlay = self.build(8)
+        overlay.nodes["p0"].online = False
+        with pytest.raises(LookupError_):
+            overlay.lookup("p0", "k")
+
+    def test_observe_moves_to_tail(self):
+        net, overlay = self.build(8)
+        node = overlay.nodes["p0"]
+        peers = [n for bucket in node.buckets for n in bucket]
+        first = peers[0]
+        bucket = node.buckets[node.bucket_index(kad_id(first))]
+        node.observe(first)
+        assert bucket[-1] == first
+
+    def test_rpc_cost_grows_slowly(self):
+        small = self.build(16, seed=2)[1]
+        large = self.build(256, seed=3)[1]
+        small_rpcs = statistics.mean(
+            small.lookup("p0", f"k{i}").rpcs for i in range(20))
+        large_rpcs = statistics.mean(
+            large.lookup("p0", f"k{i}").rpcs for i in range(20))
+        assert large_rpcs < small_rpcs * 6  # sub-linear growth

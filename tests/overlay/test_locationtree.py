@@ -1,0 +1,145 @@
+"""Tests for the Vis-à-Vis distributed location tree."""
+
+import pytest
+
+from repro.exceptions import LookupError_, OverlayError
+from repro.overlay.locationtree import LocationTree
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+
+def build_tree():
+    network = SimNetwork(Simulator(1))
+    tree = LocationTree("hiking-club", network)
+    tree.add_member("alice", ("europe", "turkey", "istanbul"))
+    tree.add_member("bob", ("europe", "turkey", "ankara"))
+    tree.add_member("carol", ("europe", "germany", "berlin"))
+    tree.add_member("dave", ("asia", "japan", "tokyo"))
+    tree.add_member("erin", ("europe", "turkey", "istanbul"))
+    return network, tree
+
+
+class TestMembershipAndQueries:
+    def test_leaf_region_query(self):
+        _, tree = build_tree()
+        result = tree.query("alice", ("europe", "turkey", "istanbul"))
+        assert result.members == ["alice", "erin"]
+
+    def test_subtree_query(self):
+        _, tree = build_tree()
+        result = tree.query("dave", ("europe", "turkey"))
+        assert result.members == ["alice", "bob", "erin"]
+
+    def test_continental_query(self):
+        _, tree = build_tree()
+        result = tree.query("dave", ("europe",))
+        assert result.members == ["alice", "bob", "carol", "erin"]
+
+    def test_root_query_returns_everyone(self):
+        _, tree = build_tree()
+        result = tree.query("alice", ())
+        assert result.members == ["alice", "bob", "carol", "dave", "erin"]
+
+    def test_unknown_region_is_empty(self):
+        _, tree = build_tree()
+        result = tree.query("alice", ("europe", "france"))
+        assert result.members == []
+
+    def test_query_cost_scales_with_subtree_not_group(self):
+        """The 'efficient and scalable sharing' claim: a narrow query
+        touches only the matching branch."""
+        _, tree = build_tree()
+        narrow = tree.query("dave", ("europe", "turkey", "istanbul"))
+        wide = tree.query("dave", ())
+        assert narrow.hops < wide.hops
+        assert set(narrow.servers_contacted) <= \
+            set(wide.servers_contacted) | {"alice", "erin"}
+
+    def test_max_results_caps_traversal(self):
+        _, tree = build_tree()
+        result = tree.query("alice", ("europe",), max_results=1)
+        assert len(result.members) == 1
+
+    def test_remove_member(self):
+        _, tree = build_tree()
+        tree.remove_member("erin", ("europe", "turkey", "istanbul"))
+        result = tree.query("alice", ("europe", "turkey", "istanbul"))
+        assert result.members == ["alice"]
+
+    def test_remove_unregistered_rejected(self):
+        _, tree = build_tree()
+        with pytest.raises(OverlayError):
+            tree.remove_member("ghost", ("europe",))
+
+    def test_empty_region_path_rejected(self):
+        network = SimNetwork(Simulator(2))
+        tree = LocationTree("g", network)
+        with pytest.raises(OverlayError):
+            tree.add_member("x", ())
+
+    def test_empty_group_query_rejected(self):
+        network = SimNetwork(Simulator(3))
+        tree = LocationTree("g", network)
+        with pytest.raises(LookupError_):
+            tree.query("anyone", ("europe",))
+
+
+class TestDistributionAndFailure:
+    def test_nodes_hosted_by_member_vises(self):
+        _, tree = build_tree()
+        # alice joined first: she hosts the root and the europe/turkey path
+        assert ("hiking-club", ()) in tree.servers["alice"].hosted
+        assert ("hiking-club", ("asia",)) in tree.servers["dave"].hosted
+
+    def test_offline_host_darkens_subtree(self):
+        _, tree = build_tree()
+        tree.servers["alice"].online = False  # hosts the root
+        with pytest.raises(LookupError_):
+            tree.query("dave", ("europe",))
+
+    def test_offline_branch_host_hides_only_that_branch(self):
+        _, tree = build_tree()
+        tree.servers["dave"].online = False  # hosts only the asia branch
+        result = tree.query("bob", ())
+        assert "dave" not in result.members
+        assert "alice" in result.members
+
+    def test_rehost_restores_subtree(self):
+        _, tree = build_tree()
+        tree.servers["alice"].online = False
+        tree.rehost((), "bob")
+        tree.rehost(("europe",), "bob")
+        tree.rehost(("europe", "turkey"), "bob")
+        tree.rehost(("europe", "turkey", "istanbul"), "bob")
+        result = tree.query("dave", ("europe", "turkey"))
+        assert "erin" in result.members
+
+    def test_rehost_unknown_region_rejected(self):
+        _, tree = build_tree()
+        with pytest.raises(OverlayError):
+            tree.rehost(("mars",), "bob")
+
+
+class TestLocationPrivacy:
+    def test_visibility_is_exactly_the_registered_prefixes(self):
+        _, tree = build_tree()
+        visible = tree.location_visibility(
+            "alice", ("europe", "turkey", "istanbul"))
+        assert visible == [(), ("europe",), ("europe", "turkey"),
+                           ("europe", "turkey", "istanbul")]
+
+    def test_coarse_registration_hides_precision(self):
+        """Registering at country level keeps the city out of the tree —
+        the Vis-à-Vis privacy dial."""
+        network = SimNetwork(Simulator(4))
+        tree = LocationTree("g", network)
+        tree.add_member("cautious", ("europe", "turkey"))
+        result = tree.query("cautious", ("europe", "turkey", "istanbul"))
+        assert result.members == []  # not discoverable at city granularity
+        result = tree.query("cautious", ("europe", "turkey"))
+        assert result.members == ["cautious"]
+
+    def test_visibility_rejects_unregistered(self):
+        _, tree = build_tree()
+        with pytest.raises(OverlayError):
+            tree.location_visibility("alice", ("asia",))

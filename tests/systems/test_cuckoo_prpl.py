@@ -1,0 +1,121 @@
+"""Tests for the Cuckoo and Prpl system models."""
+
+import pytest
+
+from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.systems.cuckoo import CuckooNetwork
+from repro.systems.prpl import PrplNetwork
+
+
+class TestCuckoo:
+    def _net(self, followers=6):
+        net = CuckooNetwork(seed=1)
+        for i in range(24):
+            net.register(f"c{i}")
+        for i in range(1, followers + 1):
+            net.follow(f"c{i}", "c0")
+        return net
+
+    def test_followers_get_push(self):
+        net = self._net()
+        post_id = net.post("c0", b"morning thought")
+        for i in range(1, 7):
+            content, source = net.read(f"c{i}", post_id)
+            assert content == b"morning thought"
+            assert source == "push"
+
+    def test_non_followers_pull_from_dht(self):
+        net = self._net()
+        post_id = net.post("c0", b"public musings")
+        content, source = net.read("c20", post_id)
+        assert content == b"public musings"
+        assert source == "pull"
+
+    def test_offline_follower_catches_up_via_pull(self):
+        """Cuckoo's raison d'être: missed pushes are recoverable."""
+        net = self._net()
+        net.go_offline("c3")
+        post_id = net.post("c0", b"you missed this live")
+        net.go_online("c3")
+        content, source = net.read("c3", post_id)
+        assert content == b"you missed this live"
+        assert source == "pull"
+
+    def test_popular_publishers_mostly_push(self):
+        """The paper's split: popular content discovered unstructured."""
+        net = self._net(followers=12)
+        for round_number in range(5):
+            post_id = net.post("c0", f"post {round_number}".encode())
+            for i in range(1, 13):
+                net.read(f"c{i}", post_id)
+        assert net.push_hit_rate() > 0.9
+
+    def test_unregistered_follow_rejected(self):
+        net = self._net()
+        with pytest.raises(OverlayError):
+            net.follow("ghost", "c0")
+
+    def test_second_read_served_locally(self):
+        net = self._net()
+        post_id = net.post("c0", b"x")
+        net.read("c20", post_id)           # pull populates the inbox
+        _, source = net.read("c20", post_id)
+        assert source == "push"            # now local
+
+
+class TestPrpl:
+    def _net(self):
+        net = PrplNetwork(seed=2)
+        for i in range(12):
+            net.register(f"u{i}", device_count=2)
+        return net
+
+    def test_store_and_fetch_cross_user(self):
+        net = self._net()
+        net.store("u0", "photo", b"prpl photo")
+        content, hops = net.fetch("u5", "u0", "photo")
+        assert content == b"prpl photo"
+        assert hops >= 2  # ring hops + butler + device
+
+    def test_items_live_on_one_device_only(self):
+        net = self._net()
+        device = net.store("u0", "doc", b"bytes")
+        other = [d for d in net.user_devices["u0"] if d != device][0]
+        assert "doc" in net.devices[device].items
+        assert "doc" not in net.devices[other].items
+
+    def test_explicit_device_placement(self):
+        net = self._net()
+        target = net.user_devices["u3"][1]
+        assert net.store("u3", "note", b"n", device_id=target) == target
+
+    def test_wrong_device_rejected(self):
+        net = self._net()
+        with pytest.raises(OverlayError):
+            net.store("u3", "note", b"n", device_id="u4/dev0")
+
+    def test_device_offline_item_unreachable(self):
+        net = self._net()
+        device = net.store("u0", "doc", b"bytes")
+        net.device_offline(device)
+        with pytest.raises(StorageError):
+            net.fetch("u5", "u0", "doc")
+
+    def test_butler_offline_user_unfindable(self):
+        """The butler is the user's single point of discovery — Prpl's
+        availability assumption (butlers run 'in the cloud')."""
+        net = self._net()
+        net.store("u0", "doc", b"bytes")
+        net.butler_offline("u0")
+        with pytest.raises(LookupError_):
+            net.fetch("u5", "u0", "doc")
+
+    def test_missing_item(self):
+        net = self._net()
+        with pytest.raises(StorageError):
+            net.fetch("u5", "u0", "never-stored")
+
+    def test_duplicate_registration_rejected(self):
+        net = self._net()
+        with pytest.raises(OverlayError):
+            net.register("u0")

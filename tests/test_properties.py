@@ -1,0 +1,216 @@
+"""Model-based and cross-cutting property tests.
+
+Hypothesis stateful machines check the authenticated dictionary and the
+symmetric ACL against simple reference models over arbitrary operation
+interleavings — the class of bug unit tests structurally miss.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, invariant,
+                                 rule)
+
+from repro.acl.pad import PAD, verify_lookup
+from repro.acl.symmetric_acl import SymmetricKeyACL
+from repro.exceptions import AccessDeniedError, IntegrityError
+from repro.overlay.chord import ChordRing, chord_id, in_interval
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+_KEYS = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+class PADModel(RuleBasedStateMachine):
+    """The PAD must behave like a dict and stay verifiable throughout."""
+
+    def __init__(self):
+        super().__init__()
+        self.pad = PAD()
+        self.model = {}
+
+    @rule(key=_KEYS, value=st.binary(min_size=1, max_size=6))
+    def insert(self, key, value):
+        self.pad = self.pad.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=_KEYS)
+    def delete(self, key):
+        if key in self.model:
+            self.pad = self.pad.delete(key)
+            del self.model[key]
+        else:
+            with pytest.raises(IntegrityError):
+                self.pad.delete(key)
+
+    @rule(key=_KEYS)
+    def lookup_matches_model(self, key):
+        assert self.pad.get(key) == self.model.get(key)
+
+    @rule(key=_KEYS)
+    def proofs_always_verify(self, key):
+        proof = self.pad.prove(key)
+        assert proof.found_value == self.model.get(key)
+        assert verify_lookup(self.pad.root_hash, proof)
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.pad) == len(self.model)
+
+    @invariant()
+    def keys_sorted_and_complete(self):
+        assert list(self.pad.keys()) == sorted(self.model)
+
+
+PADModelTest = PADModel.TestCase
+PADModelTest.settings = settings(max_examples=25, stateful_step_count=30,
+                                 deadline=None)
+
+
+class SymmetricACLModel(RuleBasedStateMachine):
+    """The ACL must track a reference permission set exactly.
+
+    Model: after any interleaving of joins/revocations/publishes, a user
+    can read an item iff they were a member when the item was (re)protected
+    last — i.e. current members read everything, revoked users read
+    nothing (the scheme re-encrypts on revoke).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.scheme = SymmetricKeyACL(rng=random.Random(0xACE))
+        self.scheme.create_group("g", ["founder"])
+        self.members = {"founder"}
+        self.everyone = {"founder"}
+        self.items = {}
+        self._counter = 0
+
+    users = Bundle("users")
+
+    @rule(target=users, name=st.sampled_from(
+        ["ann", "ben", "cho", "dia", "eli"]))
+    def introduce(self, name):
+        return name
+
+    @rule(user=users)
+    def join(self, user):
+        self.scheme.add_member("g", user)
+        self.members.add(user)
+        self.everyone.add(user)
+
+    @rule(user=users)
+    def revoke(self, user):
+        if user in self.members and len(self.members) > 1:
+            self.scheme.revoke_member("g", user)
+            self.members.discard(user)
+
+    @rule(payload=st.binary(min_size=1, max_size=8))
+    def publish(self, payload):
+        item_id = f"item{self._counter}"
+        self._counter += 1
+        self.scheme.publish("g", item_id, payload)
+        self.items[item_id] = payload
+
+    @invariant()
+    def members_read_everything(self):
+        for item_id, payload in self.items.items():
+            for user in self.members:
+                assert self.scheme.read("g", item_id, user) == payload
+
+    @invariant()
+    def non_members_read_nothing(self):
+        for item_id in self.items:
+            for user in self.everyone - self.members:
+                with pytest.raises(AccessDeniedError):
+                    self.scheme.read("g", item_id, user)
+
+
+SymmetricACLModelTest = SymmetricACLModel.TestCase
+SymmetricACLModelTest.settings = settings(max_examples=15,
+                                          stateful_step_count=20,
+                                          deadline=None)
+
+
+class TestChordProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_interval_trichotomy(self, x, a, b):
+        """For a != b, every x != a,b is in exactly one of (a,b] and (b,a]."""
+        if a == b:
+            return
+        left = in_interval(x, a, b, inclusive_right=True)
+        right = in_interval(x, b, a, inclusive_right=True)
+        if x == a:
+            assert right and not left
+        elif x == b:
+            assert left and not right
+        else:
+            assert left != right
+
+    @given(st.lists(st.text(alphabet="xyz0123456789", min_size=3,
+                            max_size=8), min_size=8, max_size=24,
+                    unique=True),
+           st.text(alphabet="abc", min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_lookup_agrees_with_ground_truth(self, names, key):
+        """Iterative routing always lands on the true successor."""
+        net = SimNetwork(Simulator(0))
+        ring = ChordRing(net)
+        ids = set()
+        for name in names:
+            if chord_id(name) in ids:
+                continue
+            ids.add(chord_id(name))
+            ring.add_node(name)
+        if len(ring.nodes) < 2:
+            return
+        ring.build()
+        start = next(iter(ring.nodes))
+        assert ring.lookup(start, key).owner == ring.owner_of(key)
+
+    @given(st.text(min_size=0, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_chord_id_in_range(self, name):
+        assert 0 <= chord_id(name) < 2**32
+
+
+class TestEnvelopeProperties:
+    @given(st.binary(max_size=100), st.text(max_size=10),
+           st.floats(min_value=0, max_value=1e6, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_seal_open_roundtrip(self, body, recipient, issued_at):
+        from repro.crypto.signatures import generate_schnorr_keypair
+        from repro.integrity import open_envelope, seal
+        rng = random.Random(len(body))
+        key = generate_schnorr_keypair("TOY", rng)
+        envelope = seal(key, "author", body, issued_at=issued_at,
+                        recipient=recipient or None, rng=rng)
+        assert open_envelope(envelope, key.public_key,
+                             recipient or None) == body
+
+
+class TestStreamCipherProperties:
+    @given(st.binary(max_size=1000), st.binary(min_size=16, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_key_any_payload(self, payload, key):
+        from repro.crypto.symmetric import StreamCipher
+        rng = random.Random(1)
+        cipher = StreamCipher(key)
+        assert cipher.decrypt(cipher.encrypt(payload, rng)) == payload
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_single_bitflip_always_detected(self, payload):
+        from repro.crypto.symmetric import StreamCipher
+        from repro.exceptions import DecryptionError
+        rng = random.Random(2)
+        cipher = StreamCipher(b"k" * 32)
+        blob = bytearray(cipher.encrypt(payload, rng))
+        position = len(blob) // 2
+        blob[position] ^= 0x40
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(blob))
