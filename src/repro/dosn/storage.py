@@ -54,10 +54,18 @@ class CentralBackend(StorageBackend):
 
 
 class DHTBackend(StorageBackend):
-    """Blobs on a Chord ring with successor replication (Section II-B)."""
+    """Blobs on a Chord ring with successor replication (Section II-B).
 
-    def __init__(self, ring: ChordRing) -> None:
+    Pass a :class:`repro.faults.ReliableChannel` to route every fetch and
+    replication RPC through the resilient messaging layer (retries,
+    breakers, hedged replica reads) — required for the backend to stay
+    available under the E12 fault plans.
+    """
+
+    def __init__(self, ring: ChordRing, channel=None) -> None:
         self.ring = ring
+        if channel is not None:
+            self.ring.channel = channel
         #: cid -> the replica set chosen at put time
         self.placements: Dict[str, List[str]] = {}
 

@@ -1,0 +1,28 @@
+"""Fault injection and resilience for the overlay fabric.
+
+Section I of the paper frames decentralization as trading the provider's
+reliability for peer unreliability ("users, their friends, or other peers
+need to be online for better availability").  This package makes that
+trade-off measurable instead of assumed:
+
+* :mod:`repro.faults.plan` — a :class:`FaultPlan` of injectable faults
+  (correlated loss bursts, partitions, slow links, crash/restart with
+  state loss, message corruption), deterministic from the simulator seed
+  and scriptable over virtual time;
+* :mod:`repro.faults.resilience` — :class:`ReliableChannel`, the
+  timeout/retry/backoff/circuit-breaker/hedging wrapper the DHT lookups
+  and storage fetches route through to survive the injected faults.
+
+Experiment E12 (``benchmarks/bench_fault_tolerance.py``) sweeps fault
+intensity against resilience policy using both halves.
+"""
+
+from repro.faults.plan import (Corruption, Crash, FaultPlan, LossBurst,
+                               Partition, SlowLink)
+from repro.faults.resilience import (CircuitBreaker, ReliableChannel,
+                                     RetryPolicy)
+
+__all__ = [
+    "CircuitBreaker", "Corruption", "Crash", "FaultPlan", "LossBurst",
+    "Partition", "ReliableChannel", "RetryPolicy", "SlowLink",
+]

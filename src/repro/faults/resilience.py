@@ -1,0 +1,173 @@
+"""Resilient messaging over the simulated fabric.
+
+:class:`ReliableChannel` wraps :meth:`SimNetwork.rpc` with the machinery
+real P2P stacks use to survive the faults :mod:`repro.faults.plan`
+injects:
+
+* **bounded retries** with exponential backoff and jitter
+  (:class:`RetryPolicy`) — masks transient loss bursts;
+* **per-destination circuit breakers** (:class:`CircuitBreaker`) — after
+  repeated failures a destination is considered down and further calls
+  fail fast without paying message cost, until a cooldown expires and a
+  half-open probe is allowed through;
+* **hedged calls** against replica sets (:meth:`ReliableChannel.hedged`)
+  — the first reachable holder serves the request, so a crashed or
+  partitioned owner does not make the content unavailable.
+
+Every retry, breaker trip, fast-fail, and hedge is counted in the
+network's :class:`NetworkStats`, so experiment E12 can price the
+resilience (extra messages) against what it buys (success rate).
+
+Backoff delays are virtual-time bookkeeping: they are added to the
+reported elapsed time of a call rather than scheduled as events —
+consistent with the accounted-RPC shortcut the DHT lookups already use.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff and jitter."""
+
+    max_attempts: int = 3
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError("need at least one attempt")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SimulationError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, rng: _random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        delay = self.base_delay * (self.multiplier ** attempt)
+        return delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-destination breaker: closed -> open -> half-open -> closed.
+
+    ``failure_threshold`` consecutive failures open the breaker for
+    ``cooldown`` virtual seconds; while open, calls fail fast.  After the
+    cooldown one half-open probe is allowed; success closes the breaker,
+    failure re-opens it.
+    """
+
+    failure_threshold: int = 4
+    cooldown: float = 30.0
+    _failures: Dict[str, int] = field(default_factory=dict, repr=False)
+    _opened_at: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    def allow(self, dst: str, now: float) -> bool:
+        """Whether a call to ``dst`` may proceed at virtual time ``now``."""
+        opened = self._opened_at.get(dst)
+        if opened is None:
+            return True
+        if now - opened >= self.cooldown:
+            return True  # half-open probe
+        return False
+
+    def is_open(self, dst: str, now: float) -> bool:
+        """Whether the breaker is holding calls to ``dst`` back."""
+        return not self.allow(dst, now)
+
+    def record_success(self, dst: str) -> None:
+        """A call to ``dst`` succeeded: close the breaker."""
+        self._failures.pop(dst, None)
+        self._opened_at.pop(dst, None)
+
+    def record_failure(self, dst: str, now: float) -> bool:
+        """A call to ``dst`` failed; returns True when this trips it open."""
+        if dst in self._opened_at:
+            self._opened_at[dst] = now  # failed half-open probe re-opens
+            return False
+        count = self._failures.get(dst, 0) + 1
+        self._failures[dst] = count
+        if count >= self.failure_threshold:
+            self._opened_at[dst] = now
+            self._failures.pop(dst, None)
+            return True
+        return False
+
+
+class ReliableChannel:
+    """Timeout/retry/breaker/hedging wrapper over a :class:`SimNetwork`.
+
+    Protocols call :meth:`call` where they would call ``network.rpc``;
+    replica reads go through :meth:`hedged`.  The channel's RNG is split
+    from the simulator seed, so retry jitter is deterministic.
+    """
+
+    def __init__(self, network, policy: Optional[RetryPolicy] = None,
+                 breaker: Optional[CircuitBreaker] = None) -> None:
+        self.network = network
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker
+        self._rng = network.sim.split_rng("reliable-channel")
+
+    def call(self, src: str, dst: str, kind: str = "rpc",
+             payload_size: int = 64) -> Tuple[bool, float]:
+        """One logical request/response with retries and breaker checks.
+
+        Returns ``(ok, elapsed)`` where ``elapsed`` includes every
+        attempt's RTT/timeout plus backoff waits.
+        """
+        stats = self.network.stats
+        elapsed = 0.0
+        for attempt in range(self.policy.max_attempts):
+            now = self.network.sim.now
+            if self.breaker is not None and not self.breaker.allow(dst, now):
+                stats.breaker_fastfails += 1
+                return (False, elapsed)
+            ok, rtt = self.network.rpc(src, dst, kind=kind,
+                                       payload_size=payload_size)
+            elapsed += rtt
+            if ok:
+                if self.breaker is not None:
+                    self.breaker.record_success(dst)
+                return (True, elapsed)
+            if self.breaker is not None \
+                    and self.breaker.record_failure(dst, now):
+                stats.breaker_trips += 1
+            if attempt + 1 < self.policy.max_attempts:
+                stats.retries += 1
+                elapsed += self.policy.backoff(attempt, self._rng)
+        return (False, elapsed)
+
+    def hedged(self, src: str, dsts: Sequence[str], kind: str = "rpc",
+               payload_size: int = 64) -> Tuple[bool, Optional[str], float]:
+        """Race a request across replica holders; first success wins.
+
+        Each candidate gets one attempt (the hedge replaces the retry);
+        returns ``(ok, winner, elapsed)``.
+        """
+        stats = self.network.stats
+        elapsed = 0.0
+        for i, dst in enumerate(dsts):
+            if i > 0:
+                stats.hedges += 1
+            now = self.network.sim.now
+            if self.breaker is not None and not self.breaker.allow(dst, now):
+                stats.breaker_fastfails += 1
+                continue
+            ok, rtt = self.network.rpc(src, dst, kind=kind,
+                                       payload_size=payload_size)
+            elapsed += rtt
+            if ok:
+                if self.breaker is not None:
+                    self.breaker.record_success(dst)
+                return (True, dst, elapsed)
+            if self.breaker is not None \
+                    and self.breaker.record_failure(dst, now):
+                stats.breaker_trips += 1
+        return (False, None, elapsed)

@@ -15,7 +15,9 @@ Server federation   :mod:`repro.overlay.federation` (Diaspora pods)
 
 Cross-cutting: :mod:`repro.overlay.churn` (session models) and
 :mod:`repro.overlay.replication` (placement policies, availability, and the
-"replicas are small providers" exposure accounting).
+"replicas are small providers" exposure accounting).  Fault injection and
+the resilient RPC layer live in :mod:`repro.faults` and plug into
+:class:`SimNetwork` via :meth:`SimNetwork.install_faults`.
 """
 
 from repro.overlay.network import Message, NetworkStats, SimNetwork, SimNode

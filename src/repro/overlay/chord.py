@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import LookupError_, OverlayError, StorageError
 from repro.overlay.network import SimNetwork, SimNode
@@ -73,11 +73,15 @@ class ChordNode(SimNode):
 
     # -- routing-table reads (executed at the *queried* node) -----------------
 
-    def closest_preceding(self, key_id: int,
-                          ring: "ChordRing") -> Optional[str]:
-        """The best next hop: the closest live finger preceding ``key_id``."""
+    def closest_preceding(self, key_id: int, ring: "ChordRing",
+                          avoid: Optional[Set[str]] = None) -> Optional[str]:
+        """The best next hop: the closest live finger preceding ``key_id``.
+
+        ``avoid`` lists peers a resilient lookup has already written off
+        (unresponsive after retries), so routing detours around them.
+        """
         for finger in reversed(self.fingers):
-            if finger is None:
+            if finger is None or (avoid is not None and finger in avoid):
                 continue
             node = ring.nodes.get(finger)
             if node is None or not node.online:
@@ -85,15 +89,21 @@ class ChordNode(SimNode):
             if in_interval(node.chord_id, self.chord_id, key_id):
                 return finger
         for succ in self.successors:
+            if avoid is not None and succ in avoid:
+                continue
             node = ring.nodes.get(succ)
             if node is not None and node.online \
                     and in_interval(node.chord_id, self.chord_id, key_id):
                 return succ
         return None
 
-    def first_live_successor(self, ring: "ChordRing") -> Optional[str]:
+    def first_live_successor(self, ring: "ChordRing",
+                             avoid: Optional[Set[str]] = None
+                             ) -> Optional[str]:
         """The nearest online entry of the successor list."""
         for succ in self.successors:
+            if avoid is not None and succ in avoid:
+                continue
             if ring.network.is_online(succ):
                 return succ
         return None
@@ -103,13 +113,23 @@ class ChordRing:
     """A Chord overlay over a :class:`SimNetwork`."""
 
     def __init__(self, network: SimNetwork, successor_list_size: int = 4,
-                 replication: int = 1) -> None:
+                 replication: int = 1, channel: Optional[Any] = None) -> None:
         if replication < 1:
             raise OverlayError("replication factor must be >= 1")
         self.network = network
         self.successor_list_size = successor_list_size
         self.replication = replication
+        #: optional :class:`repro.faults.ReliableChannel`; when set, every
+        #: routing RPC gets retries/breakers and lookups route around
+        #: peers that stay unresponsive after retries.
+        self.channel = channel
         self.nodes: Dict[str, ChordNode] = {}
+
+    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
+        """One accounted RPC, through the resilient channel when wired."""
+        if self.channel is not None:
+            return self.channel.call(src, dst, kind=kind)
+        return self.network.rpc(src, dst, kind=kind)
 
     # -- construction -----------------------------------------------------------
 
@@ -167,6 +187,12 @@ class ChordRing:
 
         Each routing step is one accounted RPC; offline peers cost a
         timeout and a fallback probe, mirroring real retry behaviour.
+
+        With a :class:`~repro.faults.ReliableChannel` wired in, each step
+        additionally gets retries/backoff, and a peer that stays
+        unresponsive *after* retries is treated as dead for the rest of
+        the lookup (routing detours around it instead of re-probing the
+        same blocked hop until the hop budget runs out).
         """
         key_id = chord_id(key)
         current = self.nodes.get(start)
@@ -175,8 +201,10 @@ class ChordRing:
         hops = 0
         rtt = 0.0
         failed = 0
+        avoid: Optional[Set[str]] = set() if self.channel is not None \
+            else None
         while hops < max_hops:
-            successor = current.first_live_successor(self)
+            successor = current.first_live_successor(self, avoid)
             if successor is None:
                 raise LookupError_(
                     f"{current.node_id!r} has no live successor "
@@ -184,26 +212,29 @@ class ChordRing:
             succ_node = self.nodes[successor]
             if in_interval(key_id, current.chord_id, succ_node.chord_id,
                            inclusive_right=True):
-                ok, t = self.network.rpc(current.node_id, successor,
-                                         kind="chord_final")
+                ok, t = self._rpc(current.node_id, successor,
+                                  kind="chord_final")
                 rtt += t
                 hops += 1
                 if ok:
                     return LookupResult(owner=successor, hops=hops, rtt=rtt,
                                         failed_probes=failed)
                 failed += 1
+                if avoid is not None:
+                    avoid.add(successor)
                 continue  # successor died mid-lookup; list advances
-            next_hop = current.closest_preceding(key_id, self)
+            next_hop = current.closest_preceding(key_id, self, avoid)
             if next_hop is None:
                 next_hop = successor
-            ok, t = self.network.rpc(current.node_id, next_hop,
-                                     kind="chord_step")
+            ok, t = self._rpc(current.node_id, next_hop, kind="chord_step")
             rtt += t
             hops += 1
             if ok:
                 current = self.nodes[next_hop]
             else:
                 failed += 1
+                if avoid is not None:
+                    avoid.add(next_hop)
         raise LookupError_(f"lookup for {key!r} exceeded {max_hops} hops")
 
     # -- storage with successor-list replication ----------------------------------
@@ -226,21 +257,54 @@ class ChordRing:
         for replica in self.replica_set(key):
             self.nodes[replica].store[key] = value
             if replica != result.owner:
-                self.network.rpc(result.owner, replica, kind="chord_replicate")
+                self._rpc(result.owner, replica, kind="chord_replicate")
         return result
 
     def get(self, start: str, key: str) -> Tuple[bytes, LookupResult]:
-        """Route to the owner (or a live replica) and fetch."""
-        result = self.lookup(start, key)
-        for replica in [result.owner] + self.replica_set(key):
+        """Route to the owner (or a live replica) and fetch.
+
+        With a resilient channel, the read degrades gracefully: if routing
+        cannot reach the owner (partition, crash), the replica set is
+        probed directly with hedged reads from the querying peer, so any
+        reachable holder serves the content.
+        """
+        if self.channel is None:
+            result = self.lookup(start, key)
+            for replica in [result.owner] + self.replica_set(key):
+                node = self.nodes.get(replica)
+                if node is not None and node.online and key in node.store:
+                    if replica != result.owner:
+                        ok, _ = self.network.rpc(result.owner, replica,
+                                                 kind="chord_replica_read")
+                        if not ok:
+                            continue
+                    return node.store[key], result
+            raise StorageError(
+                f"key {key!r} unavailable: no live replica holds it")
+        try:
+            result: Optional[LookupResult] = self.lookup(start, key)
+        except LookupError_:
+            result = None  # routing failed; fall back to direct replica reads
+        owner = result.owner if result is not None else self.owner_of(key)
+        candidates = [owner] + [r for r in self.replica_set(key)
+                                if r != owner]
+        probed = 0
+        for replica in candidates:
             node = self.nodes.get(replica)
-            if node is not None and node.online and key in node.store:
-                if replica != result.owner:
-                    self.network.rpc(result.owner, replica,
-                                     kind="chord_replica_read")
+            if node is None or key not in node.store:
+                continue  # crashed holders lost the key with their state
+            if probed > 0:
+                self.network.stats.hedges += 1
+            probed += 1
+            ok, rtt = self.channel.call(start, replica,
+                                        kind="chord_replica_read")
+            if ok:
+                if result is None:
+                    result = LookupResult(owner=replica, hops=0, rtt=rtt,
+                                          failed_probes=0)
                 return node.store[key], result
         raise StorageError(
-            f"key {key!r} unavailable: no live replica holds it")
+            f"key {key!r} unavailable: no reachable replica holds it")
 
     # -- incremental protocol (join / stabilize), used by the tests --------------
 
@@ -286,7 +350,7 @@ class ChordRing:
         merged = [successor] + [
             s for s in succ_node.successors if s != node.node_id]
         node.successors = merged[:self.successor_list_size]
-        self.network.rpc(node.node_id, successor, kind="chord_stabilize")
+        self._rpc(node.node_id, successor, kind="chord_stabilize")
 
     def _fix_fingers(self, node: ChordNode) -> None:
         ordered = sorted((n for n in self.nodes.values() if n.online),

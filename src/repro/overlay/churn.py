@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random as _random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -60,6 +61,7 @@ class ExponentialOnOff:
     horizon: float = 7 * 24 * 3600.0
     _schedules: Dict[str, List[Tuple[float, float]]] = field(
         default_factory=dict, repr=False)
+    _starts: Dict[str, List[float]] = field(default_factory=dict, repr=False)
 
     def _schedule(self, peer: str) -> List[Tuple[float, float]]:
         """The peer's (start, end) online intervals up to the horizon."""
@@ -76,13 +78,21 @@ class ExponentialOnOff:
             intervals.append((t, min(t + up, self.horizon)))
             t += up + rng.expovariate(1.0 / self.mean_offline)
         self._schedules[peer] = intervals
+        self._starts[peer] = [start for start, _ in intervals]
         return intervals
 
     def online_at(self, peer: str, t: float) -> bool:
-        """Whether the peer's schedule covers time ``t``."""
+        """Whether the peer's schedule covers time ``t``.
+
+        A bisect over interval start times rather than a linear scan —
+        E12 queries schedules inside hot lookup loops, where O(n) per
+        probe over week-long schedules adds up.
+        """
         if not 0 <= t <= self.horizon:
             raise SimulationError(f"time {t} outside churn horizon")
-        return any(start <= t < end for start, end in self._schedule(peer))
+        intervals = self._schedule(peer)
+        i = bisect_right(self._starts[peer], t) - 1
+        return i >= 0 and t < intervals[i][1]
 
     def uptime_fraction(self, peer: str) -> float:
         """Measured online share over the horizon."""
@@ -141,9 +151,17 @@ def apply_churn_to_network(network, model, t: float) -> int:
 
     Returns the number of online nodes; used by lookup-under-churn
     experiments to snapshot availability before issuing queries.
+
+    Flips go through :meth:`SimNode.go_online` / :meth:`SimNode.go_offline`
+    rather than assigning ``online`` directly, so subclasses that re-sync
+    state in those hooks actually see churn transitions.
     """
     online = 0
     for node in network.nodes.values():
-        node.online = model.online_at(node.node_id, t)
-        online += int(node.online)
+        want = model.online_at(node.node_id, t)
+        if want and not node.online:
+            node.go_online()
+        elif not want and node.online:
+            node.go_offline()
+        online += int(want)
     return online

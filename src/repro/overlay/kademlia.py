@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import LookupError_, OverlayError, StorageError
 from repro.overlay.network import SimNetwork, SimNode
@@ -87,11 +87,21 @@ class KademliaOverlay:
     """A Kademlia overlay over a :class:`SimNetwork`."""
 
     def __init__(self, network: SimNetwork, k: int = 8,
-                 alpha: int = 3) -> None:
+                 alpha: int = 3, channel: Optional[Any] = None) -> None:
         self.network = network
         self.k = k
         self.alpha = alpha
+        #: optional :class:`repro.faults.ReliableChannel` for FIND/STORE
+        #: RPCs — Kademlia's shortlist already routes around unresponsive
+        #: peers, so retries alone recover most transient-loss failures.
+        self.channel = channel
         self.nodes: Dict[str, KademliaNode] = {}
+
+    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
+        """One accounted RPC, through the resilient channel when wired."""
+        if self.channel is not None:
+            return self.channel.call(src, dst, kind=kind)
+        return self.network.rpc(src, dst, kind=kind)
 
     def add_node(self, name: str) -> KademliaNode:
         """Register a peer."""
@@ -142,7 +152,7 @@ class KademliaOverlay:
             improved = False
             for peer_name in batch:
                 queried.add(peer_name)
-                ok, _ = self.network.rpc(start, peer_name, kind="kad_find")
+                ok, _ = self._rpc(start, peer_name, kind="kad_find")
                 rpcs += 1
                 if not ok:
                     continue
@@ -177,10 +187,13 @@ class KademliaOverlay:
         stored = 0
         for name in result.closest:
             node = self.nodes[name]
-            if node.online:
-                node.store[key] = value
-                self.network.rpc(start, name, kind="kad_store")
-                stored += 1
+            if not node.online:
+                continue
+            ok, _ = self._rpc(start, name, kind="kad_store")
+            if self.channel is not None and not ok:
+                continue  # the resilient path only counts confirmed stores
+            node.store[key] = value
+            stored += 1
         if stored == 0:
             raise StorageError(f"no live node accepted key {key!r}")
         return result

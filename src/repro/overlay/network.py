@@ -13,6 +13,12 @@ Two communication styles, matching how the overlay protocols are written:
 
 Every message is counted in :class:`NetworkStats`, which experiments E5-E7
 read for their message-cost series.
+
+Beyond the benign i.i.d. loss process, the fabric can carry an installed
+:class:`repro.faults.FaultPlan` (see :meth:`SimNetwork.install_faults`):
+partitions, correlated loss bursts, slow links, crash/restart, and message
+corruption, all deterministic from the simulator seed.  Experiment E12
+stresses the overlay protocols through this hook.
 """
 
 from __future__ import annotations
@@ -28,12 +34,17 @@ from repro.overlay.simulator import Simulator, UniformLatency
 
 @dataclass
 class Message:
-    """An overlay message: a kind tag plus an arbitrary payload dict."""
+    """An overlay message: a kind tag plus an arbitrary payload dict.
+
+    ``corrupted`` is set by the fault layer when the message was delivered
+    but garbled in flight — integrity mechanisms are expected to detect it.
+    """
 
     kind: str
     src: str
     dst: str
     payload: Dict[str, Any] = field(default_factory=dict)
+    corrupted: bool = False
 
     def size_estimate(self) -> int:
         """Crude byte-size estimate for bandwidth accounting."""
@@ -43,12 +54,25 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    The base counters feed E5-E7; the resilience counters (``retries``,
+    ``breaker_trips``, ``breaker_fastfails``, ``hedges``) are incremented
+    by :class:`repro.faults.ReliableChannel`, and ``fault_drops`` /
+    ``corrupted`` attribute losses to an installed fault plan — E12 reads
+    all of them.
+    """
 
     messages: int = 0
     bytes: int = 0
     drops: int = 0
     timeouts: int = 0
+    retries: int = 0
+    breaker_trips: int = 0
+    breaker_fastfails: int = 0
+    hedges: int = 0
+    fault_drops: int = 0
+    corrupted: int = 0
     by_kind: Counter = field(default_factory=Counter)
 
     def reset(self) -> None:
@@ -57,6 +81,12 @@ class NetworkStats:
         self.bytes = 0
         self.drops = 0
         self.timeouts = 0
+        self.retries = 0
+        self.breaker_trips = 0
+        self.breaker_fastfails = 0
+        self.hedges = 0
+        self.fault_drops = 0
+        self.corrupted = 0
         self.by_kind.clear()
 
 
@@ -85,6 +115,27 @@ class SimNode:
         """Take the peer down; in-flight messages to it will be dropped."""
         self.online = False
 
+    def crash(self, lose_state: bool = True) -> None:
+        """Fail the peer; with ``lose_state`` its volatile state is wiped.
+
+        Used by :class:`repro.faults.Crash`.  Unlike a churn departure,
+        a crashed-and-restarted peer comes back *empty* — recovering its
+        data is the replication layer's job.
+        """
+        if lose_state:
+            self.wipe_state()
+        self.go_offline()
+
+    def wipe_state(self) -> None:
+        """Drop volatile state on crash.
+
+        The default clears the conventional ``store`` dict the DHT nodes
+        keep; subclasses with more state should extend this.
+        """
+        store = getattr(self, "store", None)
+        if isinstance(store, dict):
+            store.clear()
+
     def handle_message(self, message: Message) -> None:
         """Dispatch to ``on_<kind>``; unknown kinds raise."""
         handler = getattr(self, f"on_{message.kind}", None)
@@ -99,7 +150,7 @@ class SimNetwork:
     """The message fabric connecting :class:`SimNode` peers."""
 
     def __init__(self, sim: Simulator, latency: Optional[Any] = None,
-                 loss_rate: float = 0.0) -> None:
+                 loss_rate: float = 0.0, faults: Optional[Any] = None) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError("loss_rate must be in [0, 1)")
         self.sim = sim
@@ -108,6 +159,20 @@ class SimNetwork:
         self.nodes: Dict[str, SimNode] = {}
         self.stats = NetworkStats()
         self._rng = sim.split_rng("network")
+        self.faults = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    def install_faults(self, plan: Any) -> None:
+        """Attach a :class:`repro.faults.FaultPlan` to the fabric.
+
+        Binding materializes the plan's burst schedules from its seed and
+        registers crash/restart events on the simulator.
+        """
+        if self.faults is not None:
+            raise SimulationError("a fault plan is already installed")
+        plan.bind(self)
+        self.faults = plan
 
     def register(self, node: SimNode) -> None:
         """Add a peer to the fabric."""
@@ -128,6 +193,29 @@ class SimNetwork:
         node = self.nodes.get(node_id)
         return node is not None and node.online
 
+    # -- fault-aware draws ------------------------------------------------------
+
+    def _loss_cause(self, a: str, b: str, t: float) -> Optional[str]:
+        """One direction's loss draw: None, 'loss' (base), or 'fault'."""
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            return "loss"
+        if self.faults is not None:
+            rate = self.faults.loss_rate(a, b, t)
+            if rate > 0 and self._rng.random() < rate:
+                return "fault"
+        return None
+
+    def _latency_factor(self, a: str, b: str, t: float) -> float:
+        if self.faults is None:
+            return 1.0
+        return self.faults.latency_factor(a, b, t)
+
+    def _corrupts(self, a: str, b: str, t: float) -> bool:
+        if self.faults is None:
+            return False
+        rate = self.faults.corruption_rate(a, b, t)
+        return rate > 0 and self._rng.random() < rate
+
     # -- asynchronous messaging ------------------------------------------------
 
     def send(self, message: Message) -> None:
@@ -136,14 +224,29 @@ class SimNetwork:
         Messages to offline/unknown peers or lost to the loss process are
         counted as drops; the sender is not notified (UDP semantics — the
         protocols on top implement their own retries where they need them).
+        Partition-blocked and burst-lost messages additionally count as
+        ``fault_drops``; corrupted ones are delivered flagged.
         """
         self.stats.messages += 1
         self.stats.bytes += message.size_estimate()
         self.stats.by_kind[message.kind] += 1
-        if self._rng.random() < self.loss_rate:
+        now = self.sim.now
+        if self.faults is not None \
+                and self.faults.blocks(message.src, message.dst, now):
             self.stats.drops += 1
+            self.stats.fault_drops += 1
             return
-        delay = self.latency.sample(self._rng, message.src, message.dst)
+        cause = self._loss_cause(message.src, message.dst, now)
+        if cause is not None:
+            self.stats.drops += 1
+            if cause == "fault":
+                self.stats.fault_drops += 1
+            return
+        if self._corrupts(message.src, message.dst, now):
+            message.corrupted = True
+            self.stats.corrupted += 1
+        delay = self.latency.sample(self._rng, message.src, message.dst) \
+            * self._latency_factor(message.src, message.dst, now)
 
         def deliver() -> None:
             node = self.nodes.get(message.dst)
@@ -160,19 +263,40 @@ class SimNetwork:
             payload_size: int = 64) -> Tuple[bool, float]:
         """Model one request/response round trip.
 
-        Returns ``(reachable, rtt)``.  An offline destination costs the
-        request message plus a timeout (charged as latency at the high end)
-        so failed probes are not free — matching how real iterative lookups
-        pay for dead fingers.
+        Returns ``(reachable, rtt)``.  The two directions draw loss
+        independently so the accounting matches the fault model: a lost
+        *request* (or an offline/partitioned destination) costs one message
+        plus a timeout — failed probes are not free, matching how real
+        iterative lookups pay for dead fingers — while a lost *response*
+        costs both messages (the request was delivered) plus the timeout.
+        A corrupted response is delivered but useless, so it also reads as
+        a failure.
         """
         self.stats.by_kind[kind] += 1
-        out = self.latency.sample(self._rng, src, dst)
-        if not self.is_online(dst) or self._rng.random() < self.loss_rate:
+        now = self.sim.now
+        factor = self._latency_factor(src, dst, now)
+        out = self.latency.sample(self._rng, src, dst) * factor
+        blocked = self.faults is not None \
+            and self.faults.blocks(src, dst, now)
+        reachable = not blocked and self.is_online(dst)
+        request_lost = self._loss_cause(src, dst, now) if reachable else None
+        if not reachable or request_lost is not None:
             self.stats.messages += 1
             self.stats.bytes += payload_size
             self.stats.timeouts += 1
+            if blocked or request_lost == "fault":
+                self.stats.fault_drops += 1
             return (False, 4 * out)  # timeout ~ a few RTTs
-        back = self.latency.sample(self._rng, dst, src)
+        back = self.latency.sample(self._rng, dst, src) * factor
         self.stats.messages += 2
         self.stats.bytes += 2 * payload_size
+        response_lost = self._loss_cause(dst, src, now)
+        if response_lost is not None:
+            self.stats.timeouts += 1
+            if response_lost == "fault":
+                self.stats.fault_drops += 1
+            return (False, 4 * out)
+        if self._corrupts(dst, src, now):
+            self.stats.corrupted += 1
+            return (False, out + back)
         return (True, out + back)

@@ -80,6 +80,23 @@ def place_by_uptime(owner: str, peers: Sequence[str], count: int,
     return Placement(owner=owner, replicas=candidates[:count])
 
 
+def fetch_from_holders(channel, reader: str, placement: Placement,
+                       kind: str = "replica_fetch"
+                       ) -> Tuple[Optional[str], float]:
+    """Hedged fetch against a placement's holders via a ReliableChannel.
+
+    The first reachable holder (owner first, then replicas) serves the
+    read; returns ``(holder, elapsed)`` with ``holder=None`` when every
+    holder is unreachable.  This is the availability claim made
+    operational: replication only helps if the *fetch path* fails over —
+    E12 drives storage reads through this instead of assuming any online
+    replica is reachable.
+    """
+    ok, winner, elapsed = channel.hedged(reader, placement.holders,
+                                         kind=kind)
+    return (winner if ok else None), elapsed
+
+
 def measure_availability(placement: Placement, churn_model,
                          probe_times: Sequence[float]) -> float:
     """Fraction of probes at which some holder is online."""
