@@ -57,3 +57,30 @@ def report_table(experiment: str, title: str, headers: Sequence[str],
     with open(path, "w") as handle:
         handle.write(text + "\n")
     return text
+
+
+def report_observability(experiment: str, title: str, tracer,
+                         metrics=None, note: str = "") -> str:
+    """Record a traced run: cost-breakdown table + flamegraph appendix.
+
+    The table body comes from :func:`repro.obs.export.cost_breakdown`
+    (deterministic at a fixed seed when wall profiling is off); the
+    flame summary rides along under the table so the results file shows
+    where the virtual time went, span path by span path.
+    """
+    from repro.obs.export import cost_breakdown, flame_summary, metrics_rows
+
+    headers, rows = cost_breakdown(tracer)
+    appendix = flame_summary(tracer, min_cost=0.0)
+    if metrics is not None:
+        m_headers, m_rows = metrics_rows(metrics)
+        appendix += "\n\n" + _render(f"{experiment} metrics",
+                                     m_headers, m_rows)
+    text = _render(title, headers, rows, note)
+    text += "\n\n" + appendix
+    TABLES[experiment] = text
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    path = os.path.join(_RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

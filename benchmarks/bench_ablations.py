@@ -24,10 +24,9 @@ from _reporting import report_table
 from repro.acl.pad import PAD
 from repro.crypto import prf
 from repro.crypto.symmetric import AuthenticatedCipher, StreamCipher
+from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
 from repro.overlay.hybrid import HybridOverlay
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 from repro.workloads import social_graph, zipf_choice
 
 
@@ -37,8 +36,8 @@ def test_chord_successor_list_ablation(benchmark):
     def sweep():
         rows = []
         for list_size in (1, 2, 4, 8):
-            net = SimNetwork(Simulator(10))
-            ring = ChordRing(net, successor_list_size=list_size)
+            fab = Fabric.create(seed=10)
+            ring = ChordRing(fab, successor_list_size=list_size)
             n = 256
             for i in range(n):
                 ring.add_node(f"p{i}")
@@ -74,8 +73,8 @@ def test_hybrid_cache_capacity_ablation(benchmark):
         rows = []
         for capacity in (2, 8, 32, 128):
             graph = social_graph(120, kind="ws", seed=12)
-            net = SimNetwork(Simulator(13))
-            overlay = HybridOverlay(net, graph, cache_capacity=capacity)
+            fab = Fabric.create(seed=13)
+            overlay = HybridOverlay(fab, graph, cache_capacity=capacity)
             users = sorted(overlay.caches)
             rng = random.Random(14)
             for i in range(50):

@@ -17,7 +17,7 @@ import statistics
 import pytest
 
 from _reporting import report_table
-from repro.dosn import DosnNetwork
+from repro.dosn import DosnConfig, DosnNetwork
 from repro.workloads import generate_posts, social_graph
 
 USERS = 64
@@ -26,8 +26,9 @@ POSTS = 120
 
 def run_workload(architecture, encrypt):
     graph = social_graph(USERS, kind="ba", seed=88)
-    net = DosnNetwork(architecture=architecture, seed=89,
-                      encrypt_content=encrypt, federation_pods=6)
+    net = DosnNetwork(config=DosnConfig(
+        architecture=architecture, seed=89, encrypt_content=encrypt,
+        federation_pods=6))
     for node in graph.nodes:
         net.add_user(str(node))
     net.apply_social_graph(graph)
@@ -88,9 +89,9 @@ def test_replica_count_vs_exposure(benchmark):
         rows = []
         graph = social_graph(48, kind="ws", seed=91)
         for replication in (1, 2, 4):
-            net = DosnNetwork(architecture="dht", seed=92,
-                              encrypt_content=False,
-                              replication=replication)
+            net = DosnNetwork(config=DosnConfig(
+                architecture="dht", seed=92, encrypt_content=False,
+                replication=replication))
             for node in graph.nodes:
                 net.add_user(str(node))
             net.apply_social_graph(graph)

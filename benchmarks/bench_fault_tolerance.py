@@ -31,12 +31,11 @@ import statistics
 
 from _reporting import report_table
 from repro.exceptions import LookupError_, StorageError
+from repro.fabric import Fabric
 from repro.faults import (CircuitBreaker, Crash, FaultPlan, LossBurst,
-                          Partition, ReliableChannel, RetryPolicy, SlowLink)
+                          Partition, RetryPolicy, SlowLink)
 from repro.overlay.chord import ChordRing
 from repro.overlay.kademlia import KademliaOverlay
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 
 SMOKE = os.environ.get("REPRO_E12_SCALE", "").lower() == "smoke"
 N = 32 if SMOKE else 96          # peers
@@ -73,16 +72,14 @@ def _make_plan(burst_rate: float, partitioned: bool) -> FaultPlan:
 
 def _chord_cell(burst_rate: float, partitioned: bool, policy: str):
     """Run one (fault intensity x policy) cell; returns the metrics row."""
-    sim = Simulator(SEED)
-    net = SimNetwork(sim, faults=_make_plan(burst_rate, partitioned))
-    channel = None
-    if policy != "bare":
-        breaker = CircuitBreaker(failure_threshold=4, cooldown=30.0) \
-            if policy == "retry+cb" else None
-        channel = ReliableChannel(net, RetryPolicy(max_attempts=4),
-                                  breaker)
-    ring = ChordRing(net, successor_list_size=8, replication=3,
-                     channel=channel)
+    breaker = CircuitBreaker(failure_threshold=4, cooldown=30.0) \
+        if policy == "retry+cb" else None
+    fab = Fabric.create(
+        seed=SEED, faults=_make_plan(burst_rate, partitioned),
+        retry=RetryPolicy(max_attempts=4) if policy != "bare" else None,
+        breaker=breaker)
+    sim, net = fab.sim, fab.network
+    ring = ChordRing(fab, successor_list_size=8, replication=3)
     for name in _peers():
         ring.add_node(name)
     ring.build()
@@ -204,12 +201,13 @@ def test_kademlia_burst_loss(benchmark):
         rows = []
         for burst_rate in (0.2, 0.4):
             for policy in ("bare", "retry"):
-                sim = Simulator(SEED)
-                net = SimNetwork(
-                    sim, faults=_make_plan(burst_rate, partitioned=False))
-                channel = None if policy == "bare" else ReliableChannel(
-                    net, RetryPolicy(max_attempts=4))
-                overlay = KademliaOverlay(net, channel=channel)
+                fab = Fabric.create(
+                    seed=SEED,
+                    faults=_make_plan(burst_rate, partitioned=False),
+                    retry=None if policy == "bare"
+                    else RetryPolicy(max_attempts=4))
+                sim, net = fab.sim, fab.network
+                overlay = KademliaOverlay(fab)
                 for name in _peers():
                     overlay.add_node(name)
                 overlay.bootstrap()

@@ -27,6 +27,7 @@ from repro.overlay.hybrid import HybridOverlay
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.network import SimNetwork
 from repro.overlay.simulator import FixedLatency, Simulator
+from repro.fabric import Fabric
 from repro.overlay.superpeer import SuperPeerOverlay
 from repro.workloads import social_graph, zipf_choice
 
@@ -35,8 +36,9 @@ QUERIES = 40
 
 
 def chord_stats(n):
-    net = SimNetwork(Simulator(n))
-    ring = ChordRing(net)
+    fab = Fabric.create(seed=n)
+    net = fab.network
+    ring = ChordRing(fab)
     for i in range(n):
         ring.add_node(f"p{i}")
     ring.build()
@@ -47,8 +49,9 @@ def chord_stats(n):
 
 
 def kademlia_stats(n):
-    net = SimNetwork(Simulator(n + 1))
-    overlay = KademliaOverlay(net)
+    fab = Fabric.create(seed=n + 1)
+    net = fab.network
+    overlay = KademliaOverlay(fab)
     for i in range(n):
         overlay.add_node(f"p{i}")
     overlay.bootstrap()
@@ -151,8 +154,8 @@ def test_hybrid_popular_vs_rare(benchmark):
 
     def run():
         graph = social_graph(200, kind="ws", seed=55)
-        net = SimNetwork(Simulator(56))
-        overlay = HybridOverlay(net, graph, cache_capacity=64)
+        fab = Fabric.create(seed=56)
+        overlay = HybridOverlay(fab, graph, cache_capacity=64)
         users = sorted(overlay.caches)
         rng = random.Random(57)
         item_count = 40
@@ -233,8 +236,8 @@ def test_lookup_under_churn(benchmark):
     def run():
         rows = []
         for dead_fraction in (0.0, 0.1, 0.3):
-            net = SimNetwork(Simulator(58))
-            ring = ChordRing(net, successor_list_size=8, replication=1)
+            fab = Fabric.create(seed=58)
+            ring = ChordRing(fab, successor_list_size=8, replication=1)
             n = 256
             for i in range(n):
                 ring.add_node(f"p{i}")

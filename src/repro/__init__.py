@@ -31,5 +31,6 @@ comparisons at laptop scale.  Never use it to protect real data.
 __version__ = "1.0.0"
 
 from repro import exceptions  # noqa: F401
+from repro.fabric import Fabric  # noqa: F401
 
-__all__ = ["exceptions", "__version__"]
+__all__ = ["Fabric", "exceptions", "__version__"]

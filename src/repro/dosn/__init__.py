@@ -6,7 +6,7 @@ control (:mod:`repro.acl`), integrity (:mod:`repro.integrity`) and overlays
 surveys.  Entry point: :class:`repro.dosn.api.DosnNetwork`.
 """
 
-from repro.dosn.api import ARCHITECTURES, DosnNetwork
+from repro.dosn.api import ARCHITECTURES, DosnConfig, DosnNetwork
 from repro.dosn.content import Post, Profile, ProfileField, content_id
 from repro.dosn.feed import FeedItem, FeedReport, assemble_feed
 from repro.dosn.identity import Identity, KeyRegistry, create_identity
@@ -14,7 +14,8 @@ from repro.dosn.provider import CentralProvider, ExposureReport
 from repro.dosn.user import DosnUser, VerifiedPost
 
 __all__ = [
-    "ARCHITECTURES", "CentralProvider", "DosnNetwork", "DosnUser",
+    "ARCHITECTURES", "CentralProvider", "DosnConfig", "DosnNetwork",
+    "DosnUser",
     "ExposureReport", "FeedItem", "FeedReport", "Identity", "KeyRegistry",
     "Post", "Profile", "ProfileField", "VerifiedPost", "assemble_feed",
     "content_id", "create_identity",

@@ -14,11 +14,27 @@ paper::
 Architectures (the Section II taxonomy): ``central`` (baseline provider),
 ``dht`` (Chord + replication), ``federation`` (pods), ``local``
 (owner-only storage).
+
+Configuration beyond ``architecture``/``seed`` lives in the keyword-only
+:class:`DosnConfig`::
+
+    net = DosnNetwork(config=DosnConfig(architecture="dht", seed=7,
+                                        replication=3, tracing=True))
+
+The old loose kwargs (``encrypt_content=``, ``level=``, ``replication=``,
+``federation_pods=``) still work for one release and raise
+:class:`~repro.exceptions.ReproDeprecationWarning`.  With
+``tracing=True`` every ``post``/``read``/``feed``/``befriend`` opens a
+span on the fabric tracer, nesting the overlay, storage and crypto spans
+beneath it — experiment E13 builds its cost-breakdown tables from exactly
+this tree.
 """
 
 from __future__ import annotations
 
 import random as _random
+import warnings
+from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -30,50 +46,136 @@ from repro.dosn.storage import (CentralBackend, DHTBackend,
                                 StorageBackend)
 from repro.dosn.user import DosnUser
 from repro.dosn.identity import KeyRegistry
-from repro.exceptions import OverlayError
+from repro.exceptions import OverlayError, ReproDeprecationWarning
+from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 
 ARCHITECTURES = ("central", "dht", "federation", "local")
+
+__all__ = ["ARCHITECTURES", "DosnConfig", "DosnNetwork"]
+
+
+@dataclass(frozen=True)
+class DosnConfig:
+    """Keyword-only configuration surface for :class:`DosnNetwork`.
+
+    Replaces the growing positional kwarg list; being frozen, one config
+    can parameterize a whole experiment sweep via
+    :func:`dataclasses.replace`.
+    """
+
+    #: one of :data:`ARCHITECTURES`
+    architecture: str = "dht"
+    #: master seed — every random stream in the network derives from it
+    seed: int = 0
+    #: encrypt posts for the author's friend group before storage
+    encrypt_content: bool = True
+    #: cryptographic parameter level (see :mod:`repro.crypto.params`)
+    level: str = "TOY"
+    #: replica-set size for the DHT architecture
+    replication: int = 2
+    #: pod count for the federation architecture
+    federation_pods: int = 4
+    #: collect virtual-time spans on the fabric tracer
+    tracing: bool = False
+    #: also record segregated wall-clock span durations (implies tracing)
+    wall_clock: bool = False
+    #: route DHT storage RPCs through a :class:`ReliableChannel`
+    resilient: bool = False
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise OverlayError(
+                f"unknown architecture {self.architecture!r}; "
+                f"pick from {ARCHITECTURES}")
+
+    def with_overrides(self, **changes) -> "DosnConfig":
+        """A copy with some fields replaced (sweep helper)."""
+        return _dc_replace(self, **changes)
+
+
+_LEGACY_KWARGS = ("encrypt_content", "level", "replication",
+                  "federation_pods")
 
 
 class DosnNetwork:
     """A complete simulated (D)OSN."""
 
-    def __init__(self, architecture: str = "dht", seed: int = 0,
-                 encrypt_content: bool = True, level: str = "TOY",
-                 replication: int = 2, federation_pods: int = 4) -> None:
-        if architecture not in ARCHITECTURES:
-            raise OverlayError(
-                f"unknown architecture {architecture!r}; "
-                f"pick from {ARCHITECTURES}")
-        self.architecture = architecture
-        self.level = level
-        self.encrypt_content = encrypt_content
-        self.sim = Simulator(seed)
-        self.network = SimNetwork(self.sim)
+    def __init__(self, architecture: Optional[str] = None,
+                 seed: Optional[int] = None, *,
+                 config: Optional[DosnConfig] = None,
+                 fabric: Optional[Fabric] = None, **legacy) -> None:
+        config = self._resolve_config(architecture, seed, config, legacy)
+        self.config = config
+        self.architecture = config.architecture
+        self.level = config.level
+        self.encrypt_content = config.encrypt_content
+        if fabric is None:
+            fabric = Fabric.create(
+                seed=config.seed,
+                tracing=config.tracing or config.wall_clock,
+                wall_clock=config.wall_clock,
+                resilient=config.resilient)
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.network = fabric.network
+        self.tracer = fabric.tracer
+        self.metrics = fabric.metrics
         self.registry = KeyRegistry()
         self.users: Dict[str, DosnUser] = {}
         self.graph = nx.Graph()
-        self.rng = _random.Random(seed)
+        self.rng = _random.Random(config.seed)
         self._dirty_routing = False
         self.provider: Optional[CentralProvider] = None
-        if architecture == "central":
+        if config.architecture == "central":
             self.provider = CentralProvider()
             self.storage: StorageBackend = CentralBackend(self.provider)
-        elif architecture == "dht":
-            self.ring = ChordRing(self.network, replication=replication)
+        elif config.architecture == "dht":
+            self.ring = ChordRing(fabric, replication=config.replication)
             self.storage = DHTBackend(self.ring)
-        elif architecture == "federation":
+        elif config.architecture == "federation":
             self.federation = FederatedNetwork(
-                self.network, [f"pod{i}" for i in range(federation_pods)])
+                self.network,
+                [f"pod{i}" for i in range(config.federation_pods)])
             self.storage = FederationBackend(self.federation)
         else:
             self.storage = LocalBackend()
         #: cid -> (author, encrypted?) for exposure accounting
         self._catalog: Dict[str, Tuple[str, bool]] = {}
+
+    @staticmethod
+    def _resolve_config(architecture: Optional[str], seed: Optional[int],
+                        config: Optional[DosnConfig],
+                        legacy: Dict[str, object]) -> DosnConfig:
+        unknown = set(legacy) - set(_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"unexpected DosnNetwork arguments {sorted(unknown)}")
+        if legacy:
+            warnings.warn(
+                f"DosnNetwork({', '.join(sorted(legacy))}=...) keyword "
+                "arguments are deprecated; pass config=DosnConfig(...) "
+                "instead", ReproDeprecationWarning, stacklevel=3)
+            if config is not None:
+                raise TypeError(
+                    "pass either config=DosnConfig(...) or the deprecated "
+                    "loose kwargs, not both")
+        if config is None:
+            config = DosnConfig(
+                architecture=architecture if architecture is not None
+                else "dht",
+                seed=seed if seed is not None else 0,
+                **legacy)  # type: ignore[arg-type]
+        else:
+            overrides = {}
+            if architecture is not None:
+                overrides["architecture"] = architecture
+            if seed is not None:
+                overrides["seed"] = seed
+            if overrides:
+                config = config.with_overrides(**overrides)
+        return config
 
     # -- population -----------------------------------------------------------
 
@@ -81,7 +183,8 @@ class DosnNetwork:
         """Create a user and enroll them in the architecture."""
         user = DosnUser(name, self.registry, level=self.level,
                         rng=_random.Random(f"{name}/{self.rng.random()}"),
-                        encrypt_content=self.encrypt_content)
+                        encrypt_content=self.encrypt_content,
+                        tracer=self.tracer)
         self.users[name] = user
         self.graph.add_node(name)
         if self.architecture == "dht":
@@ -97,10 +200,11 @@ class DosnNetwork:
 
     def befriend(self, a: str, b: str) -> None:
         """Create a mutual friendship (keys exchanged out-of-band)."""
-        self.users[a].befriend(self.users[b])
-        self.graph.add_edge(a, b)
-        if self.provider is not None:
-            self.provider.record_edge(a, b)
+        with self.tracer.span("dosn.befriend", a=a, b=b):
+            self.users[a].befriend(self.users[b])
+            self.graph.add_edge(a, b)
+            if self.provider is not None:
+                self.provider.record_edge(a, b)
 
     def apply_social_graph(self, graph: nx.Graph) -> None:
         """Befriend along every edge of a (workload-generated) graph."""
@@ -118,27 +222,40 @@ class DosnNetwork:
              tags: Sequence[str] = ()) -> str:
         """Author a post; returns its content id."""
         self._ensure_routing()
-        user = self.users[author]
-        cid, blob = user.compose_post(text, tags)
-        self.storage.put(author, cid, blob,
-                         recipients=sorted(user.friends))
-        self._catalog[cid] = (author, self.encrypt_content)
-        return cid
+        with self.tracer.span("dosn.post", author=author):
+            user = self.users[author]
+            cid, blob = user.compose_post(text, tags)
+            with self.tracer.span("storage.put",
+                                  backend=self.architecture):
+                self.storage.put(author, cid, blob,
+                                 recipients=sorted(user.friends))
+            self._catalog[cid] = (author, self.encrypt_content)
+            return cid
 
     def read(self, reader: str, author: str, cid: str):
         """Fetch, decrypt and verify one post as ``reader``."""
         self._ensure_routing()
-        blob = self.storage.get(reader, cid)
-        return self.users[reader].open_post(author, blob, expected_cid=cid)
+        with self.tracer.span("dosn.read", reader=reader, author=author):
+            with self.tracer.span("storage.get",
+                                  backend=self.architecture):
+                blob = self.storage.get(reader, cid)
+            return self.users[reader].open_post(author, blob,
+                                                expected_cid=cid)
 
     def feed(self, reader: str,
              limit_per_friend: Optional[int] = None) -> FeedReport:
         """Assemble the reader's verified news feed."""
         self._ensure_routing()
-        return assemble_feed(
-            self.users[reader], self.users,
-            fetch=lambda r, cid: self.storage.get(r, cid),
-            limit_per_friend=limit_per_friend)
+
+        def fetch(r: str, cid: str) -> bytes:
+            with self.tracer.span("storage.get",
+                                  backend=self.architecture):
+                return self.storage.get(r, cid)
+
+        with self.tracer.span("dosn.feed", reader=reader):
+            return assemble_feed(
+                self.users[reader], self.users, fetch=fetch,
+                limit_per_friend=limit_per_friend)
 
     # -- exposure accounting (experiment E8) -----------------------------------------
 

@@ -56,15 +56,24 @@ class CentralBackend(StorageBackend):
 class DHTBackend(StorageBackend):
     """Blobs on a Chord ring with successor replication (Section II-B).
 
-    Pass a :class:`repro.faults.ReliableChannel` to route every fetch and
-    replication RPC through the resilient messaging layer (retries,
+    Resilience comes from the ring's :class:`repro.fabric.Fabric`: build
+    it with ``Fabric.create(resilient=True, ...)`` and every fetch and
+    replication RPC routes through the :class:`ReliableChannel` (retries,
     breakers, hedged replica reads) — required for the backend to stay
-    available under the E12 fault plans.
+    available under the E12 fault plans.  The ``channel=`` kwarg is the
+    deprecated way of wiring the same thing.
     """
 
     def __init__(self, ring: ChordRing, channel=None) -> None:
         self.ring = ring
         if channel is not None:
+            import warnings
+
+            from repro.exceptions import ReproDeprecationWarning
+            warnings.warn(
+                "DHTBackend(channel=...) is deprecated; build the channel "
+                "into the ring's Fabric (Fabric.create(resilient=True))",
+                ReproDeprecationWarning, stacklevel=2)
             self.ring.channel = channel
         #: cid -> the replica set chosen at put time
         self.placements: Dict[str, List[str]] = {}

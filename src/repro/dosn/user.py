@@ -31,6 +31,7 @@ from repro.dosn.identity import Identity, KeyRegistry, create_identity
 from repro.exceptions import (AccessDeniedError, DecryptionError,
                               IntegrityError)
 from repro.integrity.hashchain import Timeline, TimelineView
+from repro.obs.trace import NOOP_TRACER
 
 
 def _post_signed_bytes(author: str, sequence: int, text: str,
@@ -38,6 +39,21 @@ def _post_signed_bytes(author: str, sequence: int, text: str,
     return digest_many([b"repro/dosn/post", author.encode(),
                         sequence.to_bytes(8, "big"), text.encode(),
                         *(t.encode() for t in tags)])
+
+
+# Deterministic virtual CPU-cost model for the crypto phases, so traced
+# cost breakdowns can price decrypt/verify next to network RTTs without
+# reading the (nondeterministic) wall clock.  Constants are calibrated to
+# the pure-Python primitives' rough throughput on one core.
+_SYM_SECONDS_PER_BYTE = 2e-6     # SHA-256-CTR stream cipher
+_SIG_SECONDS_PER_OP = 5e-3       # Schnorr sign/verify at TOY level
+
+
+def _crypto_cost(op: str, nbytes: int) -> float:
+    """Modeled virtual seconds for one crypto phase."""
+    if op in ("sign", "verify"):
+        return _SIG_SECONDS_PER_OP
+    return nbytes * _SYM_SECONDS_PER_BYTE
 
 
 @dataclass
@@ -56,8 +72,10 @@ class DosnUser:
 
     def __init__(self, name: str, registry: KeyRegistry, level: str = "TOY",
                  rng: Optional[_random.Random] = None,
-                 encrypt_content: bool = True) -> None:
+                 encrypt_content: bool = True, tracer=None) -> None:
         self.name = name
+        #: fabric tracer (injected by DosnNetwork); no-op by default
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         self.rng = rng or _random.Random(f"user/{name}")
         self.identity: Identity = create_identity(name, level, self.rng)
         self.registry = registry
@@ -104,9 +122,11 @@ class DosnUser:
         :class:`~repro.dosn.api.DosnNetwork`) stores the blob.
         """
         sequence = self.posts_published
-        signature = self.identity.signer.sign(
-            _post_signed_bytes(self.name, sequence, text, tags),
-            rng=self.rng)
+        with self.tracer.span("crypto.sign", author=self.name) as span:
+            span.add_cost(_crypto_cost("sign", 0))
+            signature = self.identity.signer.sign(
+                _post_signed_bytes(self.name, sequence, text, tags),
+                rng=self.rng)
         document = json.dumps({
             "author": self.name, "sequence": sequence, "text": text,
             "tags": list(tags), "signature": list(signature),
@@ -115,8 +135,11 @@ class DosnUser:
         self.timeline.publish(cid.encode(), rng=self.rng)
         self.posts_published += 1
         if self.encrypt_content:
-            blob = StreamCipher(self.group_key).encrypt(document,
-                                                        rng=self.rng)
+            with self.tracer.span("crypto.encrypt",
+                                  nbytes=len(document)) as span:
+                span.add_cost(_crypto_cost("encrypt", len(document)))
+                blob = StreamCipher(self.group_key).encrypt(document,
+                                                            rng=self.rng)
         else:
             blob = document
         return cid, blob
@@ -142,12 +165,15 @@ class DosnUser:
             if key is None:
                 raise AccessDeniedError(
                     f"{self.name!r} holds no group key of {author!r}")
-            try:
-                document = StreamCipher(key).decrypt(blob)
-            except DecryptionError:
-                raise AccessDeniedError(
-                    f"{self.name!r}'s key for {author!r} does not open "
-                    "this blob (revoked or rotated)")
+            with self.tracer.span("crypto.decrypt", author=author,
+                                  nbytes=len(blob)) as span:
+                span.add_cost(_crypto_cost("decrypt", len(blob)))
+                try:
+                    document = StreamCipher(key).decrypt(blob)
+                except DecryptionError:
+                    raise AccessDeniedError(
+                        f"{self.name!r}'s key for {author!r} does not open "
+                        "this blob (revoked or rotated)")
         data = json.loads(document.decode())
         if data["author"] != author:
             raise IntegrityError(
@@ -156,7 +182,11 @@ class DosnUser:
         public = self.registry.get(author)
         signed = _post_signed_bytes(data["author"], data["sequence"],
                                     data["text"], data["tags"])
-        if not public.verify_key.verify(signed, tuple(data["signature"])):
+        with self.tracer.span("crypto.verify", author=author) as span:
+            span.add_cost(_crypto_cost("verify", 0))
+            valid = public.verify_key.verify(signed,
+                                             tuple(data["signature"]))
+        if not valid:
             raise IntegrityError(
                 "post signature invalid: owner/content integrity violated")
         cid = content_id(data["author"], "post", data["text"].encode(),

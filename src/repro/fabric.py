@@ -1,0 +1,132 @@
+"""The :class:`Fabric`: one context object for the whole simulation stack.
+
+Before this existed, every layer threaded its collaborators by hand —
+``Simulator`` into ``SimNetwork``, both into ``ChordRing``, a
+``ReliableChannel`` into the ring *and* the backend, and no way to hand a
+tracer to any of them.  The Fabric bundles the five cross-cutting objects
+
+    ``sim`` · ``network`` · ``channel`` · ``tracer`` · ``metrics``
+
+plus a lazily-split ``rng``, and is what you now pass to ``ChordRing``,
+``KademliaOverlay``, ``DHTBackend`` and ``DosnNetwork``.  Passing a bare
+``SimNetwork`` still works for one release but raises
+:class:`repro.exceptions.ReproDeprecationWarning`.
+
+Construction::
+
+    from repro.fabric import Fabric
+
+    fab = Fabric.create(seed=7)                      # plain fabric
+    fab = Fabric.create(seed=7, tracing=True)        # with a real tracer
+    fab = Fabric.create(seed=7, faults=plan,         # chaos + resilience
+                        resilient=True)
+    ring = ChordRing(fab, replication=3)             # channel wired in
+
+Determinism note: the RNG split order matches the pre-Fabric code exactly
+(``network`` first, then ``reliable-channel`` when resilient; the fabric's
+own ``rng`` splits lazily on first use), so migrating a call site does not
+move any experiment's random stream.
+"""
+
+from __future__ import annotations
+
+import random as _random
+import warnings
+from typing import Any, Optional
+
+from repro.exceptions import ReproDeprecationWarning, SimulationError
+from repro.faults.resilience import (CircuitBreaker, ReliableChannel,
+                                     RetryPolicy)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_TRACER, Tracer
+from repro.overlay.network import SimNetwork
+from repro.overlay.simulator import Simulator
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Simulator + network + resilience + observability, as one handle."""
+
+    def __init__(self, sim: Simulator, network: SimNetwork,
+                 channel: Optional[ReliableChannel] = None,
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 rng: Optional[_random.Random] = None) -> None:
+        if network.sim is not sim:
+            raise SimulationError(
+                "fabric network must run on the fabric simulator")
+        self.sim = sim
+        self.network = network
+        self.channel = channel
+        self.tracer = tracer if tracer is not None else network.tracer
+        self.metrics = metrics if metrics is not None else network.metrics
+        # Keep the network's view consistent with the fabric's.
+        network.tracer = self.tracer
+        network.metrics = self.metrics
+        self._rng = rng
+
+    @classmethod
+    def create(cls, seed: int = 0, latency: Optional[Any] = None,
+               loss_rate: float = 0.0, faults: Optional[Any] = None,
+               tracing: bool = False, wall_clock: bool = False,
+               resilient: bool = False,
+               retry: Optional[RetryPolicy] = None,
+               breaker: Optional[CircuitBreaker] = None) -> "Fabric":
+        """Build a full fabric from a seed.
+
+        ``tracing=True`` installs a real :class:`~repro.obs.trace.Tracer`
+        (``wall_clock=True`` additionally records segregated wall-clock
+        span durations).  ``resilient=True`` — or passing ``retry`` /
+        ``breaker`` — wires a :class:`ReliableChannel` that the overlays
+        and backends pick up automatically.
+        """
+        sim = Simulator(seed)
+        tracer = Tracer(lambda: sim.now, wall_clock=wall_clock) if tracing \
+            else NOOP_TRACER
+        metrics = MetricsRegistry()
+        network = SimNetwork(sim, latency=latency, loss_rate=loss_rate,
+                             faults=faults, tracer=tracer, metrics=metrics)
+        channel = None
+        if resilient or retry is not None or breaker is not None:
+            channel = ReliableChannel(network, retry, breaker)
+        return cls(sim, network, channel=channel, tracer=tracer,
+                   metrics=metrics)
+
+    @property
+    def rng(self) -> _random.Random:
+        """A fabric-scoped RNG, split from the seed on first use.
+
+        Lazy so that fabrics which never draw from it leave the
+        simulator's random stream untouched (exact pre-Fabric streams).
+        """
+        if self._rng is None:
+            self._rng = self.sim.split_rng("fabric")
+        return self._rng
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Fabric(nodes={len(self.network.nodes)}, "
+                f"resilient={self.channel is not None}, "
+                f"tracing={self.tracer.enabled})")
+
+
+def coerce_fabric(fabric_or_network: Any, caller: str) -> "Fabric":
+    """Accept a :class:`Fabric` or (deprecated) a bare :class:`SimNetwork`.
+
+    The constructors named in the PR-2 API redesign call this; the
+    deprecated path wraps the network in an implicit fabric so old code
+    keeps working for one release.
+    """
+    if isinstance(fabric_or_network, Fabric):
+        return fabric_or_network
+    if isinstance(fabric_or_network, SimNetwork):
+        warnings.warn(
+            f"passing a bare SimNetwork to {caller} is deprecated; build a "
+            "repro.fabric.Fabric (Fabric.create(seed=...) or "
+            "Fabric(sim, network)) and pass that instead",
+            ReproDeprecationWarning, stacklevel=3)
+        network = fabric_or_network
+        return Fabric(network.sim, network)
+    raise TypeError(
+        f"{caller} expects a repro.fabric.Fabric "
+        f"(got {type(fabric_or_network).__name__})")

@@ -120,29 +120,45 @@ class ReliableChannel:
         """One logical request/response with retries and breaker checks.
 
         Returns ``(ok, elapsed)`` where ``elapsed`` includes every
-        attempt's RTT/timeout plus backoff waits.
+        attempt's RTT/timeout plus backoff waits.  On a traced fabric the
+        logical call is one ``channel.call`` span whose children are the
+        per-attempt ``net.rpc`` spans; backoff waits are charged to the
+        channel span itself.
         """
         stats = self.network.stats
-        elapsed = 0.0
-        for attempt in range(self.policy.max_attempts):
-            now = self.network.sim.now
-            if self.breaker is not None and not self.breaker.allow(dst, now):
-                stats.breaker_fastfails += 1
-                return (False, elapsed)
-            ok, rtt = self.network.rpc(src, dst, kind=kind,
-                                       payload_size=payload_size)
-            elapsed += rtt
-            if ok:
-                if self.breaker is not None:
-                    self.breaker.record_success(dst)
-                return (True, elapsed)
-            if self.breaker is not None \
-                    and self.breaker.record_failure(dst, now):
-                stats.breaker_trips += 1
-            if attempt + 1 < self.policy.max_attempts:
-                stats.retries += 1
-                elapsed += self.policy.backoff(attempt, self._rng)
-        return (False, elapsed)
+        with self.network.tracer.span("channel.call", kind=kind, src=src,
+                                      dst=dst) as span:
+            elapsed = 0.0
+            attempts = 0
+            outcome = "exhausted"
+            for attempt in range(self.policy.max_attempts):
+                now = self.network.sim.now
+                if self.breaker is not None \
+                        and not self.breaker.allow(dst, now):
+                    stats.breaker_fastfails += 1
+                    outcome = "breaker_fastfail"
+                    break
+                attempts += 1
+                ok, rtt = self.network.rpc(src, dst, kind=kind,
+                                           payload_size=payload_size)
+                elapsed += rtt
+                if ok:
+                    if self.breaker is not None:
+                        self.breaker.record_success(dst)
+                    span.set_attr("attempts", attempts)
+                    span.set_attr("outcome", "ok")
+                    return (True, elapsed)
+                if self.breaker is not None \
+                        and self.breaker.record_failure(dst, now):
+                    stats.breaker_trips += 1
+                if attempt + 1 < self.policy.max_attempts:
+                    stats.retries += 1
+                    backoff = self.policy.backoff(attempt, self._rng)
+                    elapsed += backoff
+                    span.add_cost(backoff)
+            span.set_attr("attempts", attempts)
+            span.set_attr("outcome", outcome)
+            return (False, elapsed)
 
     def hedged(self, src: str, dsts: Sequence[str], kind: str = "rpc",
                payload_size: int = 64) -> Tuple[bool, Optional[str], float]:
@@ -152,22 +168,27 @@ class ReliableChannel:
         returns ``(ok, winner, elapsed)``.
         """
         stats = self.network.stats
-        elapsed = 0.0
-        for i, dst in enumerate(dsts):
-            if i > 0:
-                stats.hedges += 1
-            now = self.network.sim.now
-            if self.breaker is not None and not self.breaker.allow(dst, now):
-                stats.breaker_fastfails += 1
-                continue
-            ok, rtt = self.network.rpc(src, dst, kind=kind,
-                                       payload_size=payload_size)
-            elapsed += rtt
-            if ok:
-                if self.breaker is not None:
-                    self.breaker.record_success(dst)
-                return (True, dst, elapsed)
-            if self.breaker is not None \
-                    and self.breaker.record_failure(dst, now):
-                stats.breaker_trips += 1
-        return (False, None, elapsed)
+        with self.network.tracer.span("channel.hedged", kind=kind,
+                                      src=src) as span:
+            elapsed = 0.0
+            for i, dst in enumerate(dsts):
+                if i > 0:
+                    stats.hedges += 1
+                now = self.network.sim.now
+                if self.breaker is not None \
+                        and not self.breaker.allow(dst, now):
+                    stats.breaker_fastfails += 1
+                    continue
+                ok, rtt = self.network.rpc(src, dst, kind=kind,
+                                           payload_size=payload_size)
+                elapsed += rtt
+                if ok:
+                    if self.breaker is not None:
+                        self.breaker.record_success(dst)
+                    span.set_attr("winner", dst)
+                    return (True, dst, elapsed)
+                if self.breaker is not None \
+                        and self.breaker.record_failure(dst, now):
+                    stats.breaker_trips += 1
+            span.set_attr("winner", None)
+            return (False, None, elapsed)

@@ -1,0 +1,104 @@
+"""Process-global instrumentation hooks for the crypto substrate.
+
+The crypto primitives are pure functions with no handle on a network or a
+fabric, yet they are exactly where *wall-clock* time goes in a simulation
+run (the simulator charges them zero virtual time).  This module gives
+them a hook that costs one module-attribute check per operation when
+profiling is off:
+
+    from repro.obs import hooks
+    ...
+    with hooks.crypto_op("stream.encrypt", len(plaintext)):
+        <do the work>
+
+:func:`profile_crypto` installs a profiler for the duration of a ``with``
+block; measurements land in the supplied :class:`MetricsRegistry` as
+
+* ``crypto.<op>.wall_ns``  — wall-clock histogram per operation,
+* ``crypto.ops{op=...}``   — operation counter,
+* ``crypto.bytes{op=...}`` — bytes processed per operation.
+
+The counters are deterministic; only the ``.wall_ns`` histograms carry
+nondeterministic values, consistent with the segregation rule in
+:mod:`repro.obs.trace`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator, Optional
+
+from repro.obs.metrics import WALL_NS_BUCKETS, MetricsRegistry
+
+__all__ = ["crypto_op", "profile_crypto", "CryptoProfiler"]
+
+
+class CryptoProfiler:
+    """Records per-primitive wall time and volume into a registry."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+
+    def record(self, op: str, wall_ns: int, nbytes: int) -> None:
+        self.metrics.inc("crypto.ops", op=op)
+        if nbytes:
+            self.metrics.inc("crypto.bytes", amount=nbytes, op=op)
+        self.metrics.observe(f"crypto.{op}.wall_ns", wall_ns,
+                             bounds=WALL_NS_BUCKETS)
+
+
+#: The installed profiler; ``None`` means profiling is off (the default).
+ACTIVE: Optional[CryptoProfiler] = None
+
+
+class _Timed:
+    __slots__ = ("op", "nbytes", "_start")
+
+    def __init__(self, op: str, nbytes: int) -> None:
+        self.op = op
+        self.nbytes = nbytes
+        self._start = 0
+
+    def __enter__(self) -> "_Timed":
+        self._start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        profiler = ACTIVE
+        if profiler is not None:
+            profiler.record(self.op, time.perf_counter_ns() - self._start,
+                            self.nbytes)
+        return False
+
+
+class _NoopOp:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopOp":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_OP = _NoopOp()
+
+
+def crypto_op(op: str, nbytes: int = 0):
+    """Context manager timing one primitive invocation (no-op when off)."""
+    if ACTIVE is None:
+        return _NOOP_OP
+    return _Timed(op, nbytes)
+
+
+@contextlib.contextmanager
+def profile_crypto(metrics: MetricsRegistry) -> Iterator[CryptoProfiler]:
+    """Enable crypto wall-clock profiling within a ``with`` block."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = CryptoProfiler(metrics)
+    try:
+        yield ACTIVE
+    finally:
+        ACTIVE = previous

@@ -22,11 +22,13 @@ ring converges).
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import LookupError_, OverlayError, StorageError
-from repro.overlay.network import SimNetwork, SimNode
+from repro.exceptions import (LookupError_, OverlayError,
+                              ReproDeprecationWarning, StorageError)
+from repro.overlay.network import SimNode
 
 #: Identifier-space size in bits.
 M_BITS = 32
@@ -110,19 +112,34 @@ class ChordNode(SimNode):
 
 
 class ChordRing:
-    """A Chord overlay over a :class:`SimNetwork`."""
+    """A Chord overlay over a :class:`repro.fabric.Fabric`.
 
-    def __init__(self, network: SimNetwork, successor_list_size: int = 4,
+    Pass the fabric; the ring reads its network, resilient channel, and
+    tracer from it.  Passing a bare :class:`SimNetwork` (and threading a
+    ``channel=`` by hand) still works for one release but emits
+    :class:`~repro.exceptions.ReproDeprecationWarning`.
+    """
+
+    def __init__(self, fabric: Any, successor_list_size: int = 4,
                  replication: int = 1, channel: Optional[Any] = None) -> None:
+        from repro.fabric import coerce_fabric  # avoids an import cycle
         if replication < 1:
             raise OverlayError("replication factor must be >= 1")
-        self.network = network
+        self.fabric = coerce_fabric(fabric, "ChordRing")
+        self.network = self.fabric.network
         self.successor_list_size = successor_list_size
         self.replication = replication
-        #: optional :class:`repro.faults.ReliableChannel`; when set, every
-        #: routing RPC gets retries/breakers and lookups route around
-        #: peers that stay unresponsive after retries.
-        self.channel = channel
+        #: the :class:`repro.faults.ReliableChannel` (from the fabric);
+        #: when set, every routing RPC gets retries/breakers and lookups
+        #: route around peers that stay unresponsive after retries.
+        self.channel = self.fabric.channel
+        if channel is not None:
+            warnings.warn(
+                "ChordRing(channel=...) is deprecated; build the channel "
+                "into the Fabric (Fabric.create(resilient=True) or "
+                "Fabric(sim, network, channel=...))",
+                ReproDeprecationWarning, stacklevel=2)
+            self.channel = channel
         self.nodes: Dict[str, ChordNode] = {}
 
     def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
@@ -198,44 +215,51 @@ class ChordRing:
         current = self.nodes.get(start)
         if current is None or not current.online:
             raise LookupError_(f"start node {start!r} is not online")
-        hops = 0
-        rtt = 0.0
-        failed = 0
-        avoid: Optional[Set[str]] = set() if self.channel is not None \
-            else None
-        while hops < max_hops:
-            successor = current.first_live_successor(self, avoid)
-            if successor is None:
-                raise LookupError_(
-                    f"{current.node_id!r} has no live successor "
-                    "(ring partitioned)")
-            succ_node = self.nodes[successor]
-            if in_interval(key_id, current.chord_id, succ_node.chord_id,
-                           inclusive_right=True):
-                ok, t = self._rpc(current.node_id, successor,
-                                  kind="chord_final")
+        with self.network.tracer.span("chord.lookup", key=key,
+                                      start=start) as span:
+            hops = 0
+            rtt = 0.0
+            failed = 0
+            avoid: Optional[Set[str]] = set() if self.channel is not None \
+                else None
+            while hops < max_hops:
+                successor = current.first_live_successor(self, avoid)
+                if successor is None:
+                    raise LookupError_(
+                        f"{current.node_id!r} has no live successor "
+                        "(ring partitioned)")
+                succ_node = self.nodes[successor]
+                if in_interval(key_id, current.chord_id, succ_node.chord_id,
+                               inclusive_right=True):
+                    ok, t = self._rpc(current.node_id, successor,
+                                      kind="chord_final")
+                    rtt += t
+                    hops += 1
+                    if ok:
+                        span.set_attr("hops", hops)
+                        span.set_attr("failed_probes", failed)
+                        span.set_attr("owner", successor)
+                        return LookupResult(owner=successor, hops=hops,
+                                            rtt=rtt, failed_probes=failed)
+                    failed += 1
+                    if avoid is not None:
+                        avoid.add(successor)
+                    continue  # successor died mid-lookup; list advances
+                next_hop = current.closest_preceding(key_id, self, avoid)
+                if next_hop is None:
+                    next_hop = successor
+                ok, t = self._rpc(current.node_id, next_hop,
+                                  kind="chord_step")
                 rtt += t
                 hops += 1
                 if ok:
-                    return LookupResult(owner=successor, hops=hops, rtt=rtt,
-                                        failed_probes=failed)
-                failed += 1
-                if avoid is not None:
-                    avoid.add(successor)
-                continue  # successor died mid-lookup; list advances
-            next_hop = current.closest_preceding(key_id, self, avoid)
-            if next_hop is None:
-                next_hop = successor
-            ok, t = self._rpc(current.node_id, next_hop, kind="chord_step")
-            rtt += t
-            hops += 1
-            if ok:
-                current = self.nodes[next_hop]
-            else:
-                failed += 1
-                if avoid is not None:
-                    avoid.add(next_hop)
-        raise LookupError_(f"lookup for {key!r} exceeded {max_hops} hops")
+                    current = self.nodes[next_hop]
+                else:
+                    failed += 1
+                    if avoid is not None:
+                        avoid.add(next_hop)
+            raise LookupError_(
+                f"lookup for {key!r} exceeded {max_hops} hops")
 
     # -- storage with successor-list replication ----------------------------------
 
@@ -253,12 +277,13 @@ class ChordRing:
 
     def put(self, start: str, key: str, value: bytes) -> LookupResult:
         """Route to the owner and store on the replica set."""
-        result = self.lookup(start, key)
-        for replica in self.replica_set(key):
-            self.nodes[replica].store[key] = value
-            if replica != result.owner:
-                self._rpc(result.owner, replica, kind="chord_replicate")
-        return result
+        with self.network.tracer.span("chord.put", key=key, start=start):
+            result = self.lookup(start, key)
+            for replica in self.replica_set(key):
+                self.nodes[replica].store[key] = value
+                if replica != result.owner:
+                    self._rpc(result.owner, replica, kind="chord_replicate")
+            return result
 
     def get(self, start: str, key: str) -> Tuple[bytes, LookupResult]:
         """Route to the owner (or a live replica) and fetch.
@@ -268,6 +293,11 @@ class ChordRing:
         probed directly with hedged reads from the querying peer, so any
         reachable holder serves the content.
         """
+        with self.network.tracer.span("chord.get", key=key, start=start):
+            return self._get_inner(start, key)
+
+    def _get_inner(self, start: str, key: str
+                   ) -> Tuple[bytes, LookupResult]:
         if self.channel is None:
             result = self.lookup(start, key)
             for replica in [result.owner] + self.replica_set(key):

@@ -24,7 +24,6 @@ import networkx as nx
 
 from repro.exceptions import LookupError_, OverlayError, StorageError
 from repro.overlay.chord import ChordRing, LookupResult
-from repro.overlay.network import SimNetwork
 
 
 @dataclass
@@ -66,13 +65,15 @@ class _LRUCache:
 class HybridOverlay:
     """Chord storage + social-neighbour caches."""
 
-    def __init__(self, network: SimNetwork, graph: nx.Graph,
+    def __init__(self, fabric, graph: nx.Graph,
                  cache_capacity: int = 32, probe_limit: int = 5,
                  replication: int = 2) -> None:
-        self.network = network
+        from repro.fabric import coerce_fabric  # avoids an import cycle
+        self.fabric = coerce_fabric(fabric, "HybridOverlay")
+        self.network = self.fabric.network
         self.graph = graph
         self.probe_limit = probe_limit
-        self.ring = ChordRing(network, replication=replication)
+        self.ring = ChordRing(self.fabric, replication=replication)
         self.caches: Dict[str, _LRUCache] = {}
         for name in graph.nodes:
             self.ring.add_node(str(name))

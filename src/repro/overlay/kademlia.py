@@ -14,11 +14,13 @@ the ``k`` closest nodes.
 from __future__ import annotations
 
 import hashlib
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import LookupError_, OverlayError, StorageError
-from repro.overlay.network import SimNetwork, SimNode
+from repro.exceptions import (LookupError_, OverlayError,
+                              ReproDeprecationWarning, StorageError)
+from repro.overlay.network import SimNode
 
 ID_BITS = 64
 
@@ -84,17 +86,31 @@ class KademliaNode(SimNode):
 
 
 class KademliaOverlay:
-    """A Kademlia overlay over a :class:`SimNetwork`."""
+    """A Kademlia overlay over a :class:`repro.fabric.Fabric`.
 
-    def __init__(self, network: SimNetwork, k: int = 8,
+    As with :class:`~repro.overlay.chord.ChordRing`, pass the fabric;
+    bare-``SimNetwork`` and hand-threaded ``channel=`` callers get a
+    :class:`~repro.exceptions.ReproDeprecationWarning` for one release.
+    """
+
+    def __init__(self, fabric: Any, k: int = 8,
                  alpha: int = 3, channel: Optional[Any] = None) -> None:
-        self.network = network
+        from repro.fabric import coerce_fabric  # avoids an import cycle
+        self.fabric = coerce_fabric(fabric, "KademliaOverlay")
+        self.network = self.fabric.network
         self.k = k
         self.alpha = alpha
-        #: optional :class:`repro.faults.ReliableChannel` for FIND/STORE
-        #: RPCs — Kademlia's shortlist already routes around unresponsive
-        #: peers, so retries alone recover most transient-loss failures.
-        self.channel = channel
+        #: the :class:`repro.faults.ReliableChannel` for FIND/STORE RPCs
+        #: (from the fabric) — Kademlia's shortlist already routes around
+        #: unresponsive peers, so retries alone recover most transient-
+        #: loss failures.
+        self.channel = self.fabric.channel
+        if channel is not None:
+            warnings.warn(
+                "KademliaOverlay(channel=...) is deprecated; build the "
+                "channel into the Fabric (Fabric.create(resilient=True))",
+                ReproDeprecationWarning, stacklevel=2)
+            self.channel = channel
         self.nodes: Dict[str, KademliaNode] = {}
 
     def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
@@ -138,51 +154,65 @@ class KademliaOverlay:
         shortlist = origin.closest_known(target_id, self.k)
         if not shortlist:
             raise LookupError_("empty routing table; bootstrap first")
-        queried: Set[str] = set()
-        hops = 0
-        rpcs = 0
-        best = min(xor_distance(kad_id(n), target_id) for n in shortlist)
-        while True:
-            candidates = [n for n in shortlist if n not in queried]
-            candidates.sort(key=lambda n: xor_distance(kad_id(n), target_id))
-            batch = candidates[:self.alpha]
-            if not batch:
-                break
-            hops += 1
-            improved = False
-            for peer_name in batch:
-                queried.add(peer_name)
-                ok, _ = self._rpc(start, peer_name, kind="kad_find")
-                rpcs += 1
-                if not ok:
-                    continue
-                peer = self.nodes[peer_name]
-                if find_value and key in peer.store:
-                    return KadLookupResult(
-                        closest=sorted(
-                            shortlist,
-                            key=lambda n: xor_distance(kad_id(n),
-                                                       target_id))[:self.k],
-                        hops=hops, rpcs=rpcs, value=peer.store[key])
-                for learned in peer.closest_known(target_id, self.k):
-                    if learned not in shortlist:
-                        shortlist.append(learned)
-                        d = xor_distance(kad_id(learned), target_id)
-                        if d < best:
-                            best = d
-                            improved = True
-            shortlist.sort(key=lambda n: xor_distance(kad_id(n), target_id))
-            shortlist = shortlist[:self.k * 2]
-            if not improved and all(n in queried
-                                    for n in shortlist[:self.k]):
-                break
-        return KadLookupResult(
-            closest=shortlist[:self.k], hops=hops, rpcs=rpcs)
+        with self.network.tracer.span("kad.lookup", key=key,
+                                      start=start) as span:
+            queried: Set[str] = set()
+            hops = 0
+            rpcs = 0
+            best = min(xor_distance(kad_id(n), target_id) for n in shortlist)
+            while True:
+                candidates = [n for n in shortlist if n not in queried]
+                candidates.sort(
+                    key=lambda n: xor_distance(kad_id(n), target_id))
+                batch = candidates[:self.alpha]
+                if not batch:
+                    break
+                hops += 1
+                improved = False
+                for peer_name in batch:
+                    queried.add(peer_name)
+                    ok, _ = self._rpc(start, peer_name, kind="kad_find")
+                    rpcs += 1
+                    if not ok:
+                        continue
+                    peer = self.nodes[peer_name]
+                    if find_value and key in peer.store:
+                        span.set_attr("rounds", hops)
+                        span.set_attr("rpcs", rpcs)
+                        span.set_attr("hit", True)
+                        return KadLookupResult(
+                            closest=sorted(
+                                shortlist,
+                                key=lambda n: xor_distance(
+                                    kad_id(n), target_id))[:self.k],
+                            hops=hops, rpcs=rpcs, value=peer.store[key])
+                    for learned in peer.closest_known(target_id, self.k):
+                        if learned not in shortlist:
+                            shortlist.append(learned)
+                            d = xor_distance(kad_id(learned), target_id)
+                            if d < best:
+                                best = d
+                                improved = True
+                shortlist.sort(
+                    key=lambda n: xor_distance(kad_id(n), target_id))
+                shortlist = shortlist[:self.k * 2]
+                if not improved and all(n in queried
+                                        for n in shortlist[:self.k]):
+                    break
+            span.set_attr("rounds", hops)
+            span.set_attr("rpcs", rpcs)
+            return KadLookupResult(
+                closest=shortlist[:self.k], hops=hops, rpcs=rpcs)
 
     # -- storage --------------------------------------------------------------------
 
     def put(self, start: str, key: str, value: bytes) -> KadLookupResult:
         """Store on the k closest live nodes to the key."""
+        with self.network.tracer.span("kad.put", key=key, start=start):
+            return self._put_inner(start, key, value)
+
+    def _put_inner(self, start: str, key: str,
+                   value: bytes) -> KadLookupResult:
         result = self.lookup(start, key)
         stored = 0
         for name in result.closest:
@@ -200,7 +230,8 @@ class KademliaOverlay:
 
     def get(self, start: str, key: str) -> Tuple[bytes, KadLookupResult]:
         """FIND_VALUE; raises :class:`StorageError` when nothing holds it."""
-        result = self.lookup(start, key, find_value=True)
-        if result.value is None:
-            raise StorageError(f"key {key!r} not found in the overlay")
-        return result.value, result
+        with self.network.tracer.span("kad.get", key=key, start=start):
+            result = self.lookup(start, key, find_value=True)
+            if result.value is None:
+                raise StorageError(f"key {key!r} not found in the overlay")
+            return result.value, result

@@ -12,7 +12,11 @@ Two communication styles, matching how the overlay protocols are written:
   message counts without continuation-passing every protocol step).
 
 Every message is counted in :class:`NetworkStats`, which experiments E5-E7
-read for their message-cost series.
+read for their message-cost series.  Failures are additionally recorded
+dimensionally (kind × cause × direction) in the attached
+:class:`repro.obs.MetricsRegistry`, and every send/RPC opens a span on the
+attached tracer (a no-op by default) — see :mod:`repro.obs` and
+:class:`repro.fabric.Fabric`.
 
 Beyond the benign i.i.d. loss process, the fabric can carry an installed
 :class:`repro.faults.FaultPlan` (see :meth:`SimNetwork.install_faults`):
@@ -29,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.exceptions import OverlayError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NOOP_TRACER
 from repro.overlay.simulator import Simulator, UniformLatency
 
 
@@ -54,13 +60,20 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters.
+    """Aggregate traffic counters (the legacy, flat view).
 
     The base counters feed E5-E7; the resilience counters (``retries``,
     ``breaker_trips``, ``breaker_fastfails``, ``hedges``) are incremented
     by :class:`repro.faults.ReliableChannel`, and ``fault_drops`` /
     ``corrupted`` attribute losses to an installed fault plan — E12 reads
     all of them.
+
+    Superseded by the dimensional :class:`repro.obs.MetricsRegistry` on
+    :attr:`SimNetwork.metrics` (per-kind, per-cause, per-direction
+    counters; histograms); these aggregates remain because they are cheap
+    and every existing experiment reads them.  Use
+    :meth:`repro.obs.MetricsRegistry.absorb_network` to fold a snapshot of
+    them into the registry at export time.
     """
 
     messages: int = 0
@@ -150,7 +163,9 @@ class SimNetwork:
     """The message fabric connecting :class:`SimNode` peers."""
 
     def __init__(self, sim: Simulator, latency: Optional[Any] = None,
-                 loss_rate: float = 0.0, faults: Optional[Any] = None) -> None:
+                 loss_rate: float = 0.0, faults: Optional[Any] = None,
+                 tracer: Optional[Any] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise SimulationError("loss_rate must be in [0, 1)")
         self.sim = sim
@@ -158,6 +173,10 @@ class SimNetwork:
         self.loss_rate = loss_rate
         self.nodes: Dict[str, SimNode] = {}
         self.stats = NetworkStats()
+        #: observability: a no-op tracer and a fresh registry by default;
+        #: :class:`repro.fabric.Fabric` injects shared instances.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._rng = sim.split_rng("network")
         self.faults = None
         if faults is not None:
@@ -226,36 +245,56 @@ class SimNetwork:
         protocols on top implement their own retries where they need them).
         Partition-blocked and burst-lost messages additionally count as
         ``fault_drops``; corrupted ones are delivered flagged.
+
+        Each drop is also recorded dimensionally in :attr:`metrics` as
+        ``net.send_drops{kind=..., cause=...}``.
         """
         self.stats.messages += 1
         self.stats.bytes += message.size_estimate()
         self.stats.by_kind[message.kind] += 1
         now = self.sim.now
-        if self.faults is not None \
-                and self.faults.blocks(message.src, message.dst, now):
-            self.stats.drops += 1
-            self.stats.fault_drops += 1
-            return
-        cause = self._loss_cause(message.src, message.dst, now)
-        if cause is not None:
-            self.stats.drops += 1
-            if cause == "fault":
-                self.stats.fault_drops += 1
-            return
-        if self._corrupts(message.src, message.dst, now):
-            message.corrupted = True
-            self.stats.corrupted += 1
-        delay = self.latency.sample(self._rng, message.src, message.dst) \
-            * self._latency_factor(message.src, message.dst, now)
-
-        def deliver() -> None:
-            node = self.nodes.get(message.dst)
-            if node is None or not node.online:
+        with self.tracer.span("net.send", kind=message.kind,
+                              src=message.src, dst=message.dst) as span:
+            if self.faults is not None \
+                    and self.faults.blocks(message.src, message.dst, now):
                 self.stats.drops += 1
+                self.stats.fault_drops += 1
+                self.metrics.inc("net.send_drops", kind=message.kind,
+                                 cause="partition")
+                span.set_attr("dropped", "partition")
                 return
-            node.handle_message(message)
+            cause = self._loss_cause(message.src, message.dst, now)
+            if cause is not None:
+                self.stats.drops += 1
+                if cause == "fault":
+                    self.stats.fault_drops += 1
+                self.metrics.inc("net.send_drops", kind=message.kind,
+                                 cause=cause)
+                span.set_attr("dropped", cause)
+                return
+            if self._corrupts(message.src, message.dst, now):
+                message.corrupted = True
+                self.stats.corrupted += 1
+                self.metrics.inc("net.corrupted", kind=message.kind)
+            delay = self.latency.sample(self._rng, message.src, message.dst) \
+                * self._latency_factor(message.src, message.dst, now)
+            span.add_cost(delay)
+            parent_id = self.tracer.current_id
 
-        self.sim.schedule(delay, deliver)
+            def deliver() -> None:
+                with self.tracer.span("net.deliver", parent=parent_id,
+                                      kind=message.kind,
+                                      dst=message.dst) as dspan:
+                    node = self.nodes.get(message.dst)
+                    if node is None or not node.online:
+                        self.stats.drops += 1
+                        self.metrics.inc("net.send_drops", kind=message.kind,
+                                         cause="offline")
+                        dspan.set_attr("dropped", "offline")
+                        return
+                    node.handle_message(message)
+
+            self.sim.schedule(delay, deliver)
 
     # -- accounted synchronous RPC ------------------------------------------------
 
@@ -271,8 +310,22 @@ class SimNetwork:
         costs both messages (the request was delivered) plus the timeout.
         A corrupted response is delivered but useless, so it also reads as
         a failure.
+
+        Every failure is recorded dimensionally in :attr:`metrics` as
+        ``net.rpc_failures{kind=..., cause=..., direction=...}`` — the
+        aggregate ``fault_drops`` counter cannot tell a lost request from
+        a lost response, the labelled counters can.
         """
         self.stats.by_kind[kind] += 1
+        with self.tracer.span("net.rpc", kind=kind, src=src,
+                              dst=dst) as span:
+            ok, rtt = self._rpc_inner(src, dst, kind, payload_size, span)
+            span.set_attr("ok", ok)
+            span.add_cost(rtt)
+            return (ok, rtt)
+
+    def _rpc_inner(self, src: str, dst: str, kind: str, payload_size: int,
+                   span: Any) -> Tuple[bool, float]:
         now = self.sim.now
         factor = self._latency_factor(src, dst, now)
         out = self.latency.sample(self._rng, src, dst) * factor
@@ -286,6 +339,11 @@ class SimNetwork:
             self.stats.timeouts += 1
             if blocked or request_lost == "fault":
                 self.stats.fault_drops += 1
+            cause = "partition" if blocked else (
+                "offline" if not reachable else request_lost)
+            self.metrics.inc("net.rpc_failures", kind=kind, cause=cause,
+                             direction="request")
+            span.set_attr("failed", f"request/{cause}")
             return (False, 4 * out)  # timeout ~ a few RTTs
         back = self.latency.sample(self._rng, dst, src) * factor
         self.stats.messages += 2
@@ -295,8 +353,14 @@ class SimNetwork:
             self.stats.timeouts += 1
             if response_lost == "fault":
                 self.stats.fault_drops += 1
+            self.metrics.inc("net.rpc_failures", kind=kind,
+                             cause=response_lost, direction="response")
+            span.set_attr("failed", f"response/{response_lost}")
             return (False, 4 * out)
         if self._corrupts(dst, src, now):
             self.stats.corrupted += 1
+            self.metrics.inc("net.rpc_failures", kind=kind,
+                             cause="corruption", direction="response")
+            span.set_attr("failed", "response/corruption")
             return (False, out + back)
         return (True, out + back)

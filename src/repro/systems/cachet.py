@@ -28,9 +28,8 @@ from repro.crypto.symmetric import AuthenticatedCipher, random_key
 from repro.exceptions import AccessDeniedError, DecryptionError
 from repro.integrity.relations import (Comment, CommentablePost, create_post,
                                        verify_comment, write_comment)
+from repro.fabric import Fabric
 from repro.overlay.hybrid import HybridFetchResult, HybridOverlay
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 
 
 class CachetNetwork:
@@ -40,9 +39,10 @@ class CachetNetwork:
                  level: str = "TOY", cache_capacity: int = 32) -> None:
         self.graph = graph
         self.rng = _random.Random(seed)
-        self.sim = Simulator(seed)
-        self.network = SimNetwork(self.sim)
-        self.overlay = HybridOverlay(self.network, graph,
+        self.fabric = Fabric.create(seed=seed)
+        self.sim = self.fabric.sim
+        self.network = self.fabric.network
+        self.overlay = HybridOverlay(self.fabric, graph,
                                      cache_capacity=cache_capacity)
         self.level = level
         #: per-user ABE authority (users control their own policies)

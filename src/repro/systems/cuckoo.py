@@ -19,9 +19,8 @@ from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import OverlayError, StorageError
+from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 
 
 class CuckooNetwork:
@@ -29,9 +28,10 @@ class CuckooNetwork:
 
     def __init__(self, seed: int = 0, replication: int = 2,
                  push_fanout: int = 8) -> None:
-        self.sim = Simulator(seed)
-        self.network = SimNetwork(self.sim)
-        self.ring = ChordRing(self.network, replication=replication)
+        self.fabric = Fabric.create(seed=seed)
+        self.sim = self.fabric.sim
+        self.network = self.fabric.network
+        self.ring = ChordRing(self.fabric, replication=replication)
         self.rng = _random.Random(seed)
         self.push_fanout = push_fanout
         self.followers: Dict[str, Set[str]] = {}

@@ -22,9 +22,8 @@ from repro.crypto.hashing import hkdf
 from repro.crypto.symmetric import AuthenticatedCipher, random_key
 from repro.dosn.identity import Identity, KeyRegistry, create_identity
 from repro.exceptions import AccessDeniedError, DecryptionError, StorageError
+from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
 
 
 class PeersonNetwork:
@@ -32,9 +31,10 @@ class PeersonNetwork:
 
     def __init__(self, seed: int = 0, replication: int = 2,
                  level: str = "TOY") -> None:
-        self.sim = Simulator(seed)
-        self.network = SimNetwork(self.sim)
-        self.ring = ChordRing(self.network, replication=replication)
+        self.fabric = Fabric.create(seed=seed)
+        self.sim = self.fabric.sim
+        self.network = self.fabric.network
+        self.ring = ChordRing(self.fabric, replication=replication)
         self.registry = KeyRegistry()
         self.level = level
         self.rng = _random.Random(seed)

@@ -20,9 +20,9 @@ import random as _random
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing, LookupResult
-from repro.overlay.network import SimNetwork, SimNode
-from repro.overlay.simulator import Simulator
+from repro.overlay.network import SimNode
 
 
 class Device(SimNode):
@@ -38,9 +38,10 @@ class PrplNetwork:
     """A Prpl deployment: devices + butlers + a butler Chord ring."""
 
     def __init__(self, seed: int = 0) -> None:
-        self.sim = Simulator(seed)
-        self.network = SimNetwork(self.sim)
-        self.ring = ChordRing(self.network, replication=2)
+        self.fabric = Fabric.create(seed=seed)
+        self.sim = self.fabric.sim
+        self.network = self.fabric.network
+        self.ring = ChordRing(self.fabric, replication=2)
         self.rng = _random.Random(seed)
         self.devices: Dict[str, Device] = {}
         #: user -> their device ids

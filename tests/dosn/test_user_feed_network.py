@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dosn import DosnNetwork
+from repro.dosn import DosnConfig, DosnNetwork
 from repro.dosn.identity import KeyRegistry
 from repro.dosn.storage import LocalBackend
 from repro.dosn.user import DosnUser
@@ -10,8 +10,9 @@ from repro.exceptions import (AccessDeniedError, IntegrityError,
                               OverlayError, StorageError)
 
 
-def small_net(architecture="dht", **kwargs):
-    net = DosnNetwork(architecture=architecture, seed=5, **kwargs)
+def small_net(architecture="dht", **overrides):
+    config = DosnConfig(architecture=architecture, seed=5, **overrides)
+    net = DosnNetwork(config=config)
     for name in ("alice", "bob", "carol", "dave", "eve"):
         net.add_user(name)
     net.befriend("alice", "bob")
@@ -178,7 +179,8 @@ class TestDosnNetwork:
         assert worst.content_view == 1.0
 
     def test_dht_distributes_exposure(self):
-        net = DosnNetwork(architecture="dht", seed=9, encrypt_content=False)
+        net = DosnNetwork(config=DosnConfig(
+            architecture="dht", seed=9, encrypt_content=False))
         names = [f"user{i}" for i in range(24)]
         for name in names:
             net.add_user(name)

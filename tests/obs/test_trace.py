@@ -1,0 +1,97 @@
+"""Tracer semantics: nesting, cost accounting, and the no-op path."""
+
+import pytest
+
+from repro.obs.trace import NOOP_TRACER, NoopTracer, Tracer
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpanNesting:
+    def test_parent_child_ids(self):
+        clock = _Clock()
+        tracer = Tracer(clock)
+        with tracer.span("outer") as outer:
+            assert tracer.current_id == outer.span_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert tracer.current is None
+
+    def test_explicit_parent_reparents_async_span(self):
+        clock = _Clock()
+        tracer = Tracer(clock)
+        with tracer.span("request") as request:
+            captured = tracer.current_id
+        # Later, outside the request's lexical scope (async delivery):
+        with tracer.span("deliver", parent=captured) as deliver:
+            pass
+        assert deliver.parent_id == request.span_id
+
+    def test_virtual_timestamps_come_from_the_clock(self):
+        clock = _Clock()
+        tracer = Tracer(clock)
+        with tracer.span("op") as span:
+            clock.now = 2.5
+        assert span.start == 0.0
+        assert span.end == 2.5
+
+    def test_exception_still_finishes_span(self):
+        tracer = Tracer(_Clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.current is None
+        assert tracer.spans[0].attrs.get("error") is True
+
+
+class TestCostRollup:
+    def test_child_cost_rolls_into_parent(self):
+        tracer = Tracer(_Clock())
+        with tracer.span("lookup") as lookup:
+            with tracer.span("rpc") as rpc:
+                rpc.add_cost(0.25)
+            with tracer.span("rpc") as rpc2:
+                rpc2.add_cost(0.5)
+        assert lookup.cost == pytest.approx(0.75)
+
+    def test_rollup_is_transitive(self):
+        tracer = Tracer(_Clock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c") as c:
+                    c.add_cost(1.0)
+        a, b, c = tracer.spans[::-1] if tracer.spans[0].name == "c" \
+            else sorted(tracer.spans, key=lambda s: s.span_id)
+        assert a.name == "a" and a.cost == pytest.approx(1.0)
+        assert b.cost == pytest.approx(1.0)
+
+
+class TestNoopTracer:
+    def test_noop_is_disabled_and_returns_shared_span(self):
+        assert NOOP_TRACER.enabled is False
+        s1 = NOOP_TRACER.span("x", attr=1)
+        s2 = NOOP_TRACER.span("y")
+        assert s1 is s2  # shared singleton: zero allocation per call
+
+    def test_noop_span_interface(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set_attr("k", "v").add_cost(3.0)
+        assert NOOP_TRACER.current_id is None
+        assert NOOP_TRACER.spans == []
+        NOOP_TRACER.clear()  # must not raise
+
+    def test_fresh_noop_tracer_equivalent(self):
+        tracer = NoopTracer()
+        assert tracer.current is None
+        with tracer.span("x"):
+            pass
+        assert tracer.spans == []

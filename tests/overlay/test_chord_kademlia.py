@@ -5,6 +5,7 @@ import statistics
 import pytest
 
 from repro.exceptions import LookupError_, OverlayError, StorageError
+from repro.fabric import Fabric
 from repro.overlay.chord import (ChordRing, chord_id, in_interval)
 from repro.overlay.kademlia import (KademliaOverlay, kad_id, xor_distance)
 from repro.overlay.network import SimNetwork
@@ -12,8 +13,9 @@ from repro.overlay.simulator import Simulator
 
 
 def build_ring(n=64, replication=2, seed=0):
-    net = SimNetwork(Simulator(seed))
-    ring = ChordRing(net, replication=replication)
+    fab = Fabric.create(seed=seed)
+    net = fab.network
+    ring = ChordRing(fab, replication=replication)
     for i in range(n):
         ring.add_node(f"peer{i}")
     ring.build()
@@ -129,8 +131,9 @@ class TestChordCorrectness:
 
 class TestKademlia:
     def build(self, n=64, seed=1):
-        net = SimNetwork(Simulator(seed))
-        overlay = KademliaOverlay(net)
+        fab = Fabric.create(seed=seed)
+        net = fab.network
+        overlay = KademliaOverlay(fab)
         for i in range(n):
             overlay.add_node(f"p{i}")
         overlay.bootstrap()

@@ -135,8 +135,10 @@ class TestSuperPeer:
 
 class TestHybrid:
     def build(self, n=60, seed=0):
-        net = SimNetwork(Simulator(seed))
-        overlay = HybridOverlay(net, social(n, seed), cache_capacity=16)
+        from repro.fabric import Fabric
+        fab = Fabric.create(seed=seed)
+        net = fab.network
+        overlay = HybridOverlay(fab, social(n, seed), cache_capacity=16)
         return net, overlay
 
     def test_first_fetch_may_use_dht_then_cache(self):

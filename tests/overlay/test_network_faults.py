@@ -308,17 +308,18 @@ class TestReliableChannel:
 
 class TestResilientChord:
     def _ring(self, resilient, partitioned):
-        sim = Simulator(11)
+        from repro.fabric import Fabric
         plan = FaultPlan(seed=11, horizon=1000.0)
         if partitioned:
             plan.add(Partition(
                 groups=[{f"p{i}" for i in range(0, 32, 2)}],
                 start=0.0, end=1000.0))
-        net = SimNetwork(sim, latency=FixedLatency(0.02), faults=plan)
-        channel = ReliableChannel(net, RetryPolicy(max_attempts=3),
-                                  CircuitBreaker()) if resilient else None
-        ring = ChordRing(net, successor_list_size=8, replication=3,
-                         channel=channel)
+        fab = Fabric.create(
+            seed=11, latency=FixedLatency(0.02), faults=plan,
+            retry=RetryPolicy(max_attempts=3) if resilient else None,
+            breaker=CircuitBreaker() if resilient else None)
+        sim, net = fab.sim, fab.network
+        ring = ChordRing(fab, successor_list_size=8, replication=3)
         for i in range(32):
             ring.add_node(f"p{i}")
         ring.build()

@@ -11,7 +11,7 @@ import pytest
 
 from repro.acl.abe_acl import ABEACL
 from repro.crypto.symmetric import random_key
-from repro.dosn import DosnNetwork
+from repro.dosn import DosnConfig, DosnNetwork
 from repro.dosn.user import DosnUser
 from repro.dosn.identity import KeyRegistry
 from repro.exceptions import AccessDeniedError, IntegrityError
@@ -33,8 +33,8 @@ class TestSocialWorkloadOnEveryArchitecture:
 
     def _run(self, architecture, workload, encrypt=True):
         graph, posts = workload
-        net = DosnNetwork(architecture=architecture, seed=23,
-                          encrypt_content=encrypt)
+        net = DosnNetwork(config=DosnConfig(
+            architecture=architecture, seed=23, encrypt_content=encrypt))
         for node in graph.nodes:
             net.add_user(str(node))
         net.apply_social_graph(graph)

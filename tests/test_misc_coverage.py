@@ -11,6 +11,7 @@ from repro.dosn.storage import (CentralBackend, DHTBackend,
                                 FederationBackend, LocalBackend)
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
+from repro.fabric import Fabric
 from repro.overlay.network import SimNetwork
 from repro.overlay.simulator import Simulator
 
@@ -52,8 +53,8 @@ class TestStorageBackendsDirect:
         assert backend.observer_views() == {"p": {"c1"}}
 
     def test_dht_backend(self):
-        net = SimNetwork(Simulator(1))
-        ring = ChordRing(net, replication=2)
+        fab = Fabric.create(seed=1)
+        ring = ChordRing(fab, replication=2)
         for i in range(16):
             ring.add_node(f"n{i}")
         ring.build()
@@ -67,8 +68,8 @@ class TestStorageBackendsDirect:
             set(backend.placements["c1"]) == set(holders)
 
     def test_dht_backend_rejects_non_member(self):
-        net = SimNetwork(Simulator(2))
-        ring = ChordRing(net)
+        fab = Fabric.create(seed=2)
+        ring = ChordRing(fab)
         ring.add_node("n0")
         ring.build()
         backend = DHTBackend(ring)

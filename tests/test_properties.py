@@ -17,8 +17,7 @@ from repro.acl.pad import PAD, verify_lookup
 from repro.acl.symmetric_acl import SymmetricKeyACL
 from repro.exceptions import AccessDeniedError, IntegrityError
 from repro.overlay.chord import ChordRing, chord_id, in_interval
-from repro.overlay.network import SimNetwork
-from repro.overlay.simulator import Simulator
+from repro.fabric import Fabric
 
 _KEYS = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
 
@@ -158,8 +157,8 @@ class TestChordProperties:
     @settings(max_examples=20, deadline=None)
     def test_lookup_agrees_with_ground_truth(self, names, key):
         """Iterative routing always lands on the true successor."""
-        net = SimNetwork(Simulator(0))
-        ring = ChordRing(net)
+        fab = Fabric.create(seed=0)
+        ring = ChordRing(fab)
         ids = set()
         for name in names:
             if chord_id(name) in ids:
