@@ -2,107 +2,30 @@
 
 The paper's only exhibit is Table I: the classification of security
 aspects/solutions into three categories.  This bench rebuilds that table
-*from the code*: every row is backed by a concrete implementation in this
-repository, and the test fails if any surveyed row lacks one.  The timing
-component measures the registry construction + verification pass.
+*from the live registries* (:mod:`repro.stack.table1`): mechanism rows
+come from ``repro.acl.SCHEME_REGISTRY`` and the module-level
+``repro.stack.registry`` registrations — no hand-maintained list here —
+and the test fails if any surveyed row lacks an implementation.  A scheme
+added to ``SCHEME_REGISTRY`` (even by a test) appears in the next
+regeneration with no edits to this file.  The timing component measures
+the registry construction + verification pass.
 """
 
 from __future__ import annotations
 
 from _reporting import report_table
 
-#: Table I as printed in the paper: category -> list of aspect/solution rows.
-PAPER_TABLE1 = {
-    "Data privacy": [
-        "Information substitution",
-        "Symmetric key encryption",
-        "Public key encryption",
-        "Attribute based encryption",
-        "Identity based broadcast encryption",
-        "Hybrid encryption",
-    ],
-    "Data integrity": [
-        "Integrity of data owner and data content",
-        "Historical integrity",
-        "Integrity of data relations",
-    ],
-    "Secure Social Search": [
-        "Content privacy",
-        "Privacy of searcher",
-        "Privacy of searched data owner",
-        "Trusted search result",
-    ],
-}
-
-
-def build_implementation_registry():
-    """Map every Table I row to the implementing module(s)/class(es)."""
-    from repro.acl import SCHEME_REGISTRY
-    from repro.acl import substitution, hummingbird, pad
-    from repro.integrity import (envelope, hashchain, entanglement,
-                                 history_tree, relations)
-    from repro.search import (blind_subscribe, friend_routing, handlers,
-                              index, proxy, trust, zkp_access)
-
-    registry = {
-        ("Data privacy", "Information substitution"): [
-            substitution.VirtualPrivateProfile, substitution.NoybUser],
-        ("Data privacy", "Symmetric key encryption"): [
-            SCHEME_REGISTRY["symmetric"]],
-        ("Data privacy", "Public key encryption"): [
-            SCHEME_REGISTRY["public-key"]],
-        ("Data privacy", "Attribute based encryption"): [
-            SCHEME_REGISTRY["cp-abe"]],
-        ("Data privacy", "Identity based broadcast encryption"): [
-            SCHEME_REGISTRY["ibbe"]],
-        ("Data privacy", "Hybrid encryption"): [
-            SCHEME_REGISTRY["hybrid"], hummingbird.HummingbirdPublisher,
-            pad.FrientegrityACL],
-        ("Data integrity", "Integrity of data owner and data content"): [
-            envelope.MessageEnvelope],
-        ("Data integrity", "Historical integrity"): [
-            hashchain.Timeline, entanglement.EntanglementGraph,
-            history_tree.FortClient],
-        ("Data integrity", "Integrity of data relations"): [
-            relations.CommentablePost, envelope.MessageEnvelope],
-        ("Secure Social Search", "Content privacy"): [
-            blind_subscribe.BlindPublisher, index.SearchIndex],
-        ("Secure Social Search", "Privacy of searcher"): [
-            proxy.AliasProxy, friend_routing.Matryoshka,
-            zkp_access.PseudonymousSearcher],
-        ("Secure Social Search", "Privacy of searched data owner"): [
-            handlers.DataOwner],
-        ("Secure Social Search", "Trusted search result"): [
-            trust.rank_results],
-    }
-    return registry
-
-
-def verify_registry(registry):
-    """Check the registry covers Table I exactly; return coverage rows."""
-    rows = []
-    for category, aspects in PAPER_TABLE1.items():
-        for aspect in aspects:
-            implementations = registry.get((category, aspect))
-            assert implementations, f"Table I row unimplemented: {aspect}"
-            names = ", ".join(
-                getattr(impl, "__name__", str(impl))
-                for impl in implementations)
-            rows.append((category, aspect, names))
-    # No phantom rows either: the registry matches the paper exactly.
-    paper_keys = {(cat, asp) for cat, asps in PAPER_TABLE1.items()
-                  for asp in asps}
-    assert set(registry) == paper_keys
-    return rows
+from repro.stack.table1 import PAPER_TABLE1, build_registry, verify_coverage
 
 
 def test_table1_regeneration(benchmark):
     """E1: every Table I row maps to working code in this repository."""
-    rows = benchmark(lambda: verify_registry(build_implementation_registry()))
-    assert len(rows) == 13
+    rows = benchmark(lambda: verify_coverage(build_registry()))
+    assert len(rows) == sum(len(asps) for asps in PAPER_TABLE1.values())
     report_table(
         "E1_table1", "E1 / Table I — classification regenerated from code",
         ["Category", "Security aspect / solution", "Implementation"],
         rows,
         note=("Matches the paper's Table I row-for-row; each entry names "
-              "the class(es) implementing it."))
+              "the class(es) implementing it, read from the live "
+              "mechanism registries (repro.stack.table1)."))

@@ -1,0 +1,41 @@
+"""Write the generated Table I matrix artifact (docs/table1_matrix.md).
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_table1.py [--check]
+
+Without flags, (re)writes ``docs/table1_matrix.md`` from the live
+registries (:mod:`repro.stack.table1`).  With ``--check``, writes nothing
+and exits non-zero if the committed file differs from what the code would
+generate — the CI drift gate.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.stack.table1 import render_matrix
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "docs" / "table1_matrix.md"
+
+
+def main(argv: list) -> int:
+    check = "--check" in argv
+    rendered = render_matrix()
+    if check:
+        committed = ARTIFACT.read_text() if ARTIFACT.exists() else ""
+        if committed != rendered:
+            sys.stderr.write(
+                f"{ARTIFACT} is stale: regenerate with\n"
+                "  PYTHONPATH=src python scripts/gen_table1.py\n")
+            return 1
+        print(f"{ARTIFACT} is up to date")
+        return 0
+    ARTIFACT.write_text(rendered)
+    print(f"wrote {ARTIFACT} ({len(rendered)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

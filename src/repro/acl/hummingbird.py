@@ -148,3 +148,11 @@ class HummingbirdFollower:
                     "tag matched but decryption failed (key mismatch)")
             results.append((publisher, hashtag, message.decode()))
         return results
+
+
+# Hummingbird's PRF-keyed hashtag encryption is the paper's named example
+# of hybrid protection in microblogging; claim the Table I row here.
+from repro.stack.registry import register_mechanism as _register_mechanism
+
+_register_mechanism("Data privacy", "Hybrid encryption",
+                    HummingbirdPublisher)

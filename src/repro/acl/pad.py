@@ -284,3 +284,10 @@ class FrientegrityACL:
     def root_at(self, epoch: int) -> bytes:
         """The authenticator for a given epoch."""
         return self._versions[epoch].root_hash
+
+
+# Frientegrity's ACL-as-PAD combines symmetric content keys with an
+# authenticated dictionary — the paper files it under hybrid encryption.
+from repro.stack.registry import register_mechanism as _register_mechanism
+
+_register_mechanism("Data privacy", "Hybrid encryption", FrientegrityACL)

@@ -50,10 +50,40 @@ from repro.exceptions import OverlayError, ReproDeprecationWarning
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
+from repro.stack import (AclLayer, ContentItem, IndexLayer, IntegrityLayer,
+                         LayerSpec, PlacementLayer, ProtectionStack,
+                         SystemSpec, register_system)
 
 ARCHITECTURES = ("central", "dht", "federation", "local")
 
-__all__ = ["ARCHITECTURES", "DosnConfig", "DosnNetwork"]
+__all__ = ["ARCHITECTURES", "DOSN_SPEC", "DosnConfig", "DosnNetwork"]
+
+#: The reference network's declared pipeline (Table I rows it runs).
+DOSN_SPEC = register_system(SystemSpec(
+    name="repro.dosn",
+    citation="this reproduction's reference model",
+    overlay="pluggable (central / Chord DHT / federation / local)",
+    layers=(
+        LayerSpec("integrity", "Schnorr signature + hash-chained timeline",
+                  table1_rows=("Integrity of data owner and data content",
+                               "Historical integrity"),
+                  detail="per-post signature; cid appended to the "
+                         "author's hash chain"),
+        LayerSpec("acl", "friend-group symmetric encryption",
+                  table1_rows=("Symmetric key encryption",),
+                  detail="one StreamCipher group key per author, "
+                         "distributed out of band"),
+        LayerSpec("placement", "pluggable storage backend",
+                  detail="central provider, replicated Chord DHT, "
+                         "federation pods, or owner-local"),
+    ),
+    notes="the configurable baseline the experiments sweep"))
+
+#: The index layer appended when ``DosnConfig.index_posts`` is enabled.
+_INDEX_LAYER_SPEC = LayerSpec(
+    "index", "blinded index",
+    table1_rows=("Content privacy",),
+    detail="HMAC-blinded keyword postings (Section V)")
 
 
 @dataclass(frozen=True)
@@ -83,6 +113,8 @@ class DosnConfig:
     wall_clock: bool = False
     #: route DHT storage RPCs through a :class:`ReliableChannel`
     resilient: bool = False
+    #: index posts into a blinded :class:`~repro.search.index.SearchIndex`
+    index_posts: bool = False
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -143,6 +175,67 @@ class DosnNetwork:
             self.storage = LocalBackend()
         #: cid -> (author, encrypted?) for exposure accounting
         self._catalog: Dict[str, Tuple[str, bool]] = {}
+        self.index = None
+        self.stack = self._build_stack(config)
+
+    def _build_stack(self, config: DosnConfig) -> ProtectionStack:
+        """Assemble the network's :class:`ProtectionStack`.
+
+        Layer hooks delegate to :class:`DosnUser`'s split publish/read
+        halves and to the selected storage backend.  The placement layer
+        carries the legacy ``storage.put``/``storage.get`` span names so
+        committed trace baselines (E13) stay byte-identical; metrics stay
+        off for the same reason — the fabric tracer already prices every
+        phase.
+        """
+        spec = DOSN_SPEC
+        layers = [
+            IntegrityLayer(post=self._layer_seal, read=self._layer_verify,
+                           spec=spec.layers[0]),
+            AclLayer(post=self._layer_protect, read=self._layer_unprotect,
+                     spec=spec.layers[1]),
+            PlacementLayer(post=self._layer_store, read=self._layer_fetch,
+                           spec=spec.layers[2],
+                           span_post="storage.put", span_read="storage.get",
+                           span_attrs={"backend": config.architecture}),
+        ]
+        if config.index_posts:
+            from repro.search.index import SearchIndex
+            self.index = SearchIndex(
+                blinding_secret=f"dosn/index/{config.seed}".encode())
+            layers.append(IndexLayer.from_index(
+                self.index, lambda item: str(item.meta.get("text", "")),
+                spec=_INDEX_LAYER_SPEC))
+            spec = SystemSpec(
+                name=spec.name, citation=spec.citation, overlay=spec.overlay,
+                layers=spec.layers + (_INDEX_LAYER_SPEC,), notes=spec.notes)
+        return ProtectionStack(layers, spec=spec, tracer=self.tracer)
+
+    # -- stack layer hooks ---------------------------------------------------------
+
+    def _layer_seal(self, item: ContentItem) -> None:
+        user = self.users[item.author]
+        item.cid, item.payload = user.seal_post(
+            item.meta["text"], item.meta["tags"])
+
+    def _layer_protect(self, item: ContentItem) -> None:
+        item.payload = self.users[item.author].protect_document(item.payload)
+
+    def _layer_store(self, item: ContentItem) -> None:
+        user = self.users[item.author]
+        self.storage.put(item.author, item.cid, item.payload,
+                         recipients=sorted(user.friends))
+
+    def _layer_fetch(self, item: ContentItem) -> None:
+        item.payload = self.storage.get(item.reader, item.cid)
+
+    def _layer_unprotect(self, item: ContentItem) -> None:
+        item.payload = self.users[item.reader].unlock(item.author,
+                                                      item.payload)
+
+    def _layer_verify(self, item: ContentItem) -> None:
+        item.result = self.users[item.reader].verify_document(
+            item.author, item.payload, expected_cid=item.cid)
 
     @staticmethod
     def _resolve_config(architecture: Optional[str], seed: Optional[int],
@@ -220,42 +313,58 @@ class DosnNetwork:
 
     def post(self, author: str, text: str,
              tags: Sequence[str] = ()) -> str:
-        """Author a post; returns its content id."""
+        """Author a post through the stack; returns its content id."""
         self._ensure_routing()
         with self.tracer.span("dosn.post", author=author):
-            user = self.users[author]
-            cid, blob = user.compose_post(text, tags)
-            with self.tracer.span("storage.put",
-                                  backend=self.architecture):
-                self.storage.put(author, cid, blob,
-                                 recipients=sorted(user.friends))
-            self._catalog[cid] = (author, self.encrypt_content)
-            return cid
+            item = ContentItem(author=author,
+                               meta={"text": text, "tags": tags})
+            self.stack.post(item)
+            self._catalog[item.cid] = (author, self.encrypt_content)
+            return item.cid
 
     def read(self, reader: str, author: str, cid: str):
         """Fetch, decrypt and verify one post as ``reader``."""
         self._ensure_routing()
         with self.tracer.span("dosn.read", reader=reader, author=author):
-            with self.tracer.span("storage.get",
-                                  backend=self.architecture):
-                blob = self.storage.get(reader, cid)
-            return self.users[reader].open_post(author, blob,
-                                                expected_cid=cid)
+            item = ContentItem(author=author, reader=reader, cid=cid)
+            self.stack.read(item)
+            return item.result
 
     def feed(self, reader: str,
              limit_per_friend: Optional[int] = None) -> FeedReport:
-        """Assemble the reader's verified news feed."""
+        """Assemble the reader's verified news feed.
+
+        The fetch pass runs only the stack's placement layer; each
+        fetched blob is then opened through the ACL + integrity layers.
+        """
         self._ensure_routing()
 
         def fetch(r: str, cid: str) -> bytes:
-            with self.tracer.span("storage.get",
-                                  backend=self.architecture):
-                return self.storage.get(r, cid)
+            item = ContentItem(author="", reader=r, cid=cid)
+            self.stack.read(item, only=("placement",))
+            return item.payload
+
+        def open_post(author: str, blob: bytes, cid: str):
+            item = ContentItem(author=author, reader=reader, cid=cid,
+                               payload=blob)
+            self.stack.read(item, only=("acl", "integrity"))
+            return item.result
 
         with self.tracer.span("dosn.feed", reader=reader):
             return assemble_feed(
                 self.users[reader], self.users, fetch=fetch,
-                limit_per_friend=limit_per_friend)
+                limit_per_friend=limit_per_friend, open_post=open_post)
+
+    def search(self, query: str) -> List[str]:
+        """Content ids matching ``query`` via the stack's index layer.
+
+        Requires :attr:`DosnConfig.index_posts`; the index stores
+        HMAC-blinded tags, so its host never sees the vocabulary.
+        """
+        if self.index is None:
+            raise OverlayError(
+                "search requires DosnConfig(index_posts=True)")
+        return self.index.search(query)
 
     # -- exposure accounting (experiment E8) -----------------------------------------
 

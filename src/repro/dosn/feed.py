@@ -46,13 +46,24 @@ class FeedReport:
 
 def assemble_feed(reader: DosnUser, friends: Dict[str, DosnUser],
                   fetch: Callable[[str, str], bytes],
-                  limit_per_friend: Optional[int] = None) -> FeedReport:
+                  limit_per_friend: Optional[int] = None,
+                  open_post: Optional[
+                      Callable[[str, bytes, str], VerifiedPost]] = None
+                  ) -> FeedReport:
     """Build ``reader``'s verified feed.
 
-    ``fetch(reader_name, cid) -> blob`` abstracts the storage backend.
-    For each friend: sync + chain-verify their timeline, then fetch,
-    decrypt and signature-verify each referenced post.
+    ``fetch(reader_name, cid) -> blob`` abstracts the storage backend;
+    ``open_post(author, blob, cid) -> VerifiedPost`` abstracts the
+    decrypt+verify pipeline (defaults to the reader's own
+    :meth:`~repro.dosn.user.DosnUser.open_post` — networks with a
+    :class:`~repro.stack.pipeline.ProtectionStack` pass their stack's
+    ACL/integrity read path here).  For each friend: sync + chain-verify
+    their timeline, then fetch, decrypt and signature-verify each
+    referenced post.
     """
+    if open_post is None:
+        open_post = (lambda author, blob, cid:
+                     reader.open_post(author, blob, expected_cid=cid))
     report = FeedReport()
     for name in sorted(reader.friends):
         friend = friends.get(name)
@@ -73,7 +84,7 @@ def assemble_feed(reader: DosnUser, friends: Dict[str, DosnUser],
                 report.unavailable.append((cid, str(exc)))
                 continue
             try:
-                post = reader.open_post(name, blob, expected_cid=cid)
+                post = open_post(name, blob, cid)
             except (IntegrityError, AccessDeniedError) as exc:
                 report.violations.append((name, f"{cid}: {exc}"))
                 continue

@@ -73,6 +73,14 @@ class CentralProvider:
         self.read_log.append((reader, cid))
         return entry[1]
 
+    def stored_ids(self) -> Set[str]:
+        """Every content id physically on the provider's disks.
+
+        Includes 'deleted' content — data retention means the bytes are
+        still there, which is exactly what exposure accounting must see.
+        """
+        return set(self._content)
+
     def record_edge(self, a: str, b: str) -> None:
         """Observe a friendship (providers see the whole social graph)."""
         self.observed_edges.add((min(a, b), max(a, b)))

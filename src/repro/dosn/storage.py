@@ -49,8 +49,7 @@ class CentralBackend(StorageBackend):
         return self.provider.fetch(reader, cid)
 
     def observer_views(self) -> Dict[str, Set[str]]:
-        return {self.provider.name:
-                set(self.provider._content.keys())}
+        return {self.provider.name: self.provider.stored_ids()}
 
 
 class DHTBackend(StorageBackend):

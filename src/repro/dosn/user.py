@@ -114,12 +114,13 @@ class DosnUser:
 
     # -- publishing ---------------------------------------------------------------
 
-    def compose_post(self, text: str,
-                     tags: Sequence[str] = ()) -> Tuple[str, bytes]:
-        """Build, sign, chain and (maybe) encrypt a post.
+    def seal_post(self, text: str,
+                  tags: Sequence[str] = ()) -> Tuple[str, bytes]:
+        """The integrity half of publishing: sign and hash-chain a post.
 
-        Returns ``(content_id, blob)``; the caller (usually
-        :class:`~repro.dosn.api.DosnNetwork`) stores the blob.
+        Returns ``(content_id, canonical document)`` — the signed JSON
+        wire form *before* any encryption.  This is the stack's
+        :class:`~repro.stack.pipeline.IntegrityLayer` hook.
         """
         sequence = self.posts_published
         with self.tracer.span("crypto.sign", author=self.name) as span:
@@ -134,33 +135,52 @@ class DosnUser:
         cid = content_id(self.name, "post", text.encode(), sequence)
         self.timeline.publish(cid.encode(), rng=self.rng)
         self.posts_published += 1
-        if self.encrypt_content:
-            with self.tracer.span("crypto.encrypt",
-                                  nbytes=len(document)) as span:
-                span.add_cost(_crypto_cost("encrypt", len(document)))
-                blob = StreamCipher(self.group_key).encrypt(document,
-                                                            rng=self.rng)
-        else:
-            blob = document
-        return cid, blob
+        return cid, document
+
+    def protect_document(self, document: bytes) -> bytes:
+        """The ACL half of publishing: group-encrypt the sealed document.
+
+        A no-op on unencrypted networks; the stack's
+        :class:`~repro.stack.pipeline.AclLayer` hook.
+        """
+        if not self.encrypt_content:
+            return document
+        with self.tracer.span("crypto.encrypt",
+                              nbytes=len(document)) as span:
+            span.add_cost(_crypto_cost("encrypt", len(document)))
+            return StreamCipher(self.group_key).encrypt(document,
+                                                        rng=self.rng)
+
+    def compose_post(self, text: str,
+                     tags: Sequence[str] = ()) -> Tuple[str, bytes]:
+        """Build, sign, chain and (maybe) encrypt a post.
+
+        Returns ``(content_id, blob)``; the caller (usually
+        :class:`~repro.dosn.api.DosnNetwork`) stores the blob.  This is
+        :meth:`seal_post` + :meth:`protect_document` composed, for call
+        sites that do not run a full stack.
+        """
+        cid, document = self.seal_post(text, tags)
+        return cid, self.protect_document(document)
 
     # -- reading --------------------------------------------------------------------
 
-    def open_post(self, author: str, blob: bytes,
-                  expected_cid: Optional[str] = None) -> VerifiedPost:
-        """Decrypt and verify a fetched post blob.
+    def unlock(self, author: str, blob: bytes) -> bytes:
+        """The ACL half of reading: recover the canonical document.
 
-        Raises :class:`AccessDeniedError` when we hold no key for the
-        author, :class:`IntegrityError` on any signature/address mismatch.
+        Plaintext blobs (unencrypted networks) pass through; otherwise
+        the author's group key must be held.  Raises
+        :class:`AccessDeniedError` when we hold no (working) key.  This
+        is the stack's read-path :class:`~repro.stack.pipeline.AclLayer`
+        hook.
         """
         if author == self.name:
             key: Optional[bytes] = self.group_key
         else:
             key = self.friend_keys.get(author)
-        document: Optional[bytes] = None
         try:
             json.loads(blob.decode())
-            document = blob  # plaintext (unencrypted network)
+            return blob  # plaintext (unencrypted network)
         except (UnicodeDecodeError, json.JSONDecodeError):
             if key is None:
                 raise AccessDeniedError(
@@ -169,11 +189,19 @@ class DosnUser:
                                   nbytes=len(blob)) as span:
                 span.add_cost(_crypto_cost("decrypt", len(blob)))
                 try:
-                    document = StreamCipher(key).decrypt(blob)
+                    return StreamCipher(key).decrypt(blob)
                 except DecryptionError:
                     raise AccessDeniedError(
                         f"{self.name!r}'s key for {author!r} does not open "
                         "this blob (revoked or rotated)")
+
+    def verify_document(self, author: str, document: bytes,
+                        expected_cid: Optional[str] = None) -> VerifiedPost:
+        """The integrity half of reading: signature + address checks.
+
+        Raises :class:`IntegrityError` on any mismatch; the stack's
+        read-path :class:`~repro.stack.pipeline.IntegrityLayer` hook.
+        """
         data = json.loads(document.decode())
         if data["author"] != author:
             raise IntegrityError(
@@ -198,6 +226,17 @@ class DosnUser:
         return VerifiedPost(author=data["author"],
                             sequence=data["sequence"], text=data["text"],
                             tags=tuple(data["tags"]), content_id=cid)
+
+    def open_post(self, author: str, blob: bytes,
+                  expected_cid: Optional[str] = None) -> VerifiedPost:
+        """Decrypt and verify a fetched post blob.
+
+        :meth:`unlock` + :meth:`verify_document` composed — raises
+        :class:`AccessDeniedError` when we hold no key for the author,
+        :class:`IntegrityError` on any signature/address mismatch.
+        """
+        return self.verify_document(author, self.unlock(author, blob),
+                                    expected_cid=expected_cid)
 
     # -- timeline sync (historical integrity) -------------------------------------
 

@@ -37,3 +37,16 @@ __all__ = [
     "best_trust_chain", "blind_term", "collude", "friends_only_policy",
     "rank_results", "tokenize",
 ]
+
+# Claim the Table I "Secure Social Search" rows at the definition site;
+# the generated matrix (repro.stack.table1) reads these registrations.
+from repro.stack.registry import register_mechanism as _register_mechanism
+
+_register_mechanism("Secure Social Search", "Content privacy",
+                    BlindPublisher, SearchIndex)
+_register_mechanism("Secure Social Search", "Privacy of searcher",
+                    AliasProxy, Matryoshka, PseudonymousSearcher)
+_register_mechanism("Secure Social Search", "Privacy of searched data owner",
+                    DataOwner)
+_register_mechanism("Secure Social Search", "Trusted search result",
+                    rank_results)

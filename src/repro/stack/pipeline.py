@@ -1,0 +1,281 @@
+"""The ProtectionStack: one composable content pipeline for every DOSN.
+
+Before this module, each system model hand-rolled its own
+encrypt → integrity-protect → place → index sequence inline in ``post()``
+and the inverse in ``read()``.  The stack makes that sequence explicit:
+
+* :class:`IntegrityLayer` — signatures / envelopes / hash chains / comment
+  keys (:mod:`repro.integrity`);
+* :class:`AclLayer`      — the access-control cryptography (any
+  :class:`~repro.acl.base.AccessControlScheme`, or a system's own hybrid);
+* :class:`PlacementLayer` — where ciphertext physically goes (a
+  :class:`~repro.dosn.storage.StorageBackend`, an overlay publish path,
+  mirrors, storekeepers, …);
+* :class:`IndexLayer`    — search indexing hooks (:mod:`repro.search`).
+
+A post flows through the layers in declaration order; a read runs them in
+reverse (fetch, then decrypt, then verify).  Each layer can open a span
+on the owning :class:`~repro.fabric.Fabric`'s tracer and bump a counter
+on its metrics registry, so per-layer cost breakdowns (experiment E13
+style) come for free wherever the stack is installed.
+
+The stack is built *against* a declarative
+:class:`~repro.stack.spec.SystemSpec` and refuses a layer sequence that
+does not match it — the classification the Table I generator reads and
+the pipeline that actually runs are machine-checked to agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from repro.exceptions import AccessDeniedError, ReproError
+from repro.obs.trace import NOOP_TRACER
+from repro.stack.spec import LAYER_KINDS, LayerSpec, SystemSpec
+
+__all__ = ["AclLayer", "ContentItem", "IndexLayer", "IntegrityLayer",
+           "Layer", "PlacementLayer", "ProtectionStack"]
+
+#: layer hook signature: mutate the item in place
+Hook = Callable[["ContentItem"], None]
+
+
+@dataclass
+class ContentItem:
+    """The unit of work flowing through a :class:`ProtectionStack`.
+
+    ``payload`` is the evolving wire representation: plaintext going into
+    the ACL layer on the write path, ciphertext coming out of it, the
+    fetched blob on the read path.  Layers stash whatever else they need
+    (headers, epochs, fetch results) in ``meta``; the read path leaves
+    its final verified/decrypted value in ``result``.
+    """
+
+    author: str
+    cid: Optional[str] = None
+    payload: Optional[bytes] = None
+    reader: Optional[str] = None
+    recipients: Tuple[str, ...] = ()
+    meta: Dict[str, object] = field(default_factory=dict)
+    result: object = None
+
+
+class Layer:
+    """One stage of the pipeline, wrapping a post hook and a read hook.
+
+    Systems express their genuinely unique behavior as the hooks; the
+    layer contributes the uniform parts — its declared
+    :class:`~repro.stack.spec.LayerSpec` (capabilities for the Table I
+    generator), optional tracer span names, and metrics accounting.
+    ``span_post``/``span_read`` default to ``None`` (no span) so call
+    sites with committed trace baselines keep their exact span trees.
+    """
+
+    kind: str = "layer"
+
+    def __init__(self, post: Optional[Hook] = None,
+                 read: Optional[Hook] = None, *,
+                 spec: Optional[LayerSpec] = None, mechanism: str = "",
+                 span_post: Optional[str] = None,
+                 span_read: Optional[str] = None,
+                 span_attrs: Optional[Dict[str, object]] = None) -> None:
+        if spec is not None and spec.kind != self.kind:
+            raise ReproError(
+                f"layer kind {self.kind!r} built from a {spec.kind!r} spec")
+        self._post = post
+        self._read = read
+        self.spec = spec
+        self.mechanism = mechanism or (spec.mechanism if spec else "")
+        self.span_post = span_post
+        self.span_read = span_read
+        self.span_attrs = dict(span_attrs or {})
+
+    @property
+    def table1_rows(self) -> Tuple[str, ...]:
+        """Table I rows this layer instantiates (from its spec)."""
+        return self.spec.table1_rows if self.spec is not None else ()
+
+    def on_post(self, item: ContentItem) -> None:
+        """Write-path transformation (no-op when no hook was given)."""
+        if self._post is not None:
+            self._post(item)
+
+    def on_read(self, item: ContentItem) -> None:
+        """Read-path transformation (no-op when no hook was given)."""
+        if self._read is not None:
+            self._read(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.mechanism!r})"
+
+
+class IntegrityLayer(Layer):
+    """Owner/content/history/relation integrity (:mod:`repro.integrity`)."""
+
+    kind = "integrity"
+
+
+class AclLayer(Layer):
+    """Access-control cryptography: who can read what (Section III)."""
+
+    kind = "acl"
+
+    @classmethod
+    def from_scheme(cls, scheme, group: str, **kwargs) -> "AclLayer":
+        """Wrap any :class:`~repro.acl.base.AccessControlScheme`.
+
+        The scheme keeps custody of its ciphertext records (they are
+        scheme-specific objects, not bytes), so the layer stores under
+        the item's content id and reads back as ``item.reader`` — the
+        scheme's own cryptography enforces membership, exactly as in
+        experiment E3.  This is the one-edit plug-in point: any scheme
+        in ``repro.acl.SCHEME_REGISTRY`` becomes a stack layer here.
+        """
+
+        def protect(item: ContentItem) -> None:
+            scheme.publish(group, item.cid, item.payload)
+            item.meta["acl_scheme"] = scheme.scheme_name
+
+        def unprotect(item: ContentItem) -> None:
+            if item.reader is None:
+                raise AccessDeniedError("read without a reader identity")
+            item.payload = scheme.read(group, item.cid, item.reader)
+
+        kwargs.setdefault("mechanism", scheme.scheme_name)
+        return cls(post=protect, read=unprotect, **kwargs)
+
+
+class PlacementLayer(Layer):
+    """Where (cipher)text physically lives: backend/overlay/mirrors."""
+
+    kind = "placement"
+
+    @classmethod
+    def from_backend(cls, backend, **kwargs) -> "PlacementLayer":
+        """Wrap a :class:`~repro.dosn.storage.StorageBackend`."""
+
+        def store(item: ContentItem) -> None:
+            backend.put(item.author, item.cid, item.payload,
+                        recipients=list(item.recipients))
+
+        def retrieve(item: ContentItem) -> None:
+            item.payload = backend.get(item.reader, item.cid)
+
+        return cls(post=store, read=retrieve, **kwargs)
+
+
+class IndexLayer(Layer):
+    """Search-index hooks (:mod:`repro.search`): make content findable."""
+
+    kind = "index"
+
+    @classmethod
+    def from_index(cls, index, text_of: Callable[[ContentItem], str],
+                   **kwargs) -> "IndexLayer":
+        """Wrap a :class:`~repro.search.index.SearchIndex`.
+
+        Indexing happens on the write path only (reads go through the
+        index's own ``search``); a blinded index keeps the hook
+        compatible with the Section V content-privacy rows.
+        """
+
+        def add(item: ContentItem) -> None:
+            index.add_document(item.cid, text_of(item))
+
+        kwargs.setdefault(
+            "mechanism", "blinded index" if index.blinded else "plaintext "
+            "index")
+        return cls(post=add, **kwargs)
+
+
+class ProtectionStack:
+    """An ordered layer pipeline with spec validation and instrumentation.
+
+    ``post(item)`` runs the layers in declaration order; ``read(item)``
+    runs them in reverse.  ``only=`` restricts a run to a subset of layer
+    kinds — the feed path uses it to fetch through the placement layer
+    first and open blobs (ACL + integrity) per item afterwards.
+    """
+
+    def __init__(self, layers: Sequence[Layer], *,
+                 spec: Optional[SystemSpec] = None, tracer=None,
+                 metrics=None, name: str = "") -> None:
+        self.layers: List[Layer] = list(layers)
+        self.spec = spec
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self.metrics = metrics
+        self.name = name or (spec.name if spec is not None else "stack")
+        for layer in self.layers:
+            if layer.kind not in LAYER_KINDS:
+                raise ReproError(f"unknown layer kind {layer.kind!r}")
+        if spec is not None:
+            declared = [(ls.kind, ls.mechanism) for ls in spec.layers]
+            actual = [(l.kind, l.mechanism) for l in self.layers]
+            if declared != actual:
+                raise ReproError(
+                    f"stack for {spec.name!r} does not match its declared "
+                    f"spec: declared {declared}, built {actual}")
+
+    # -- running the pipeline ------------------------------------------------
+
+    def post(self, item: ContentItem,
+             only: Optional[Iterable[str]] = None) -> ContentItem:
+        """Run the write path: integrity → acl → placement → index."""
+        return self._run(item, "post", self.layers, only)
+
+    def read(self, item: ContentItem,
+             only: Optional[Iterable[str]] = None) -> ContentItem:
+        """Run the read path: the same layers, in reverse."""
+        return self._run(item, "read", list(reversed(self.layers)), only)
+
+    def _run(self, item: ContentItem, op: str, order: Sequence[Layer],
+             only: Optional[Iterable[str]]) -> ContentItem:
+        wanted = None if only is None else frozenset(only)
+        for layer in order:
+            if wanted is not None and layer.kind not in wanted:
+                continue
+            hook = layer.on_post if op == "post" else layer.on_read
+            span = layer.span_post if op == "post" else layer.span_read
+            if span is not None:
+                with self.tracer.span(span, **layer.span_attrs):
+                    hook(item)
+            else:
+                hook(item)
+            if self.metrics is not None:
+                self.metrics.counter("stack_layer_ops_total",
+                                     system=self.name, layer=layer.kind,
+                                     op=op).inc()
+        return item
+
+    # -- introspection -------------------------------------------------------
+
+    def layer(self, kind: str) -> Layer:
+        """The first layer of ``kind``; raises when the stack has none."""
+        for layer in self.layers:
+            if layer.kind == kind:
+                return layer
+        raise ReproError(f"stack {self.name!r} has no {kind!r} layer")
+
+    def has_layer(self, kind: str) -> bool:
+        """Whether any layer of ``kind`` is installed."""
+        return any(layer.kind == kind for layer in self.layers)
+
+    def capabilities(self) -> Tuple[str, ...]:
+        """Table I rows instantiated by this stack, in layer order."""
+        rows: List[str] = []
+        for layer in self.layers:
+            for row in layer.table1_rows:
+                if row not in rows:
+                    rows.append(row)
+        return tuple(rows)
+
+    def describe(self) -> List[Tuple[str, str, str]]:
+        """(kind, mechanism, rows) rows for docs and debugging."""
+        return [(layer.kind, layer.mechanism,
+                 ", ".join(layer.table1_rows)) for layer in self.layers]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = "+".join(layer.kind for layer in self.layers)
+        return f"ProtectionStack({self.name}: {kinds})"

@@ -7,29 +7,50 @@ content with "a hybrid scheme of symmetric key encryption and CP-ABE"
 (Section III-F), and binds comments to posts with per-post signing keys
 (Section IV-C).
 
-Composition: :class:`~repro.overlay.hybrid.HybridOverlay` (DHT + social
-caches) carries ciphertext; a per-user CP-ABE authority protects the
-content keys under attribute policies; per-post comment keys are wrapped
-for the commenter audience exactly as :mod:`repro.integrity.relations`
-implements.
+Composition (declared as :data:`CACHET_SPEC`, executed by a
+:class:`~repro.stack.pipeline.ProtectionStack`): a per-post comment-key
+integrity layer (:mod:`repro.integrity.relations`), a CP-ABE hybrid ACL
+layer with one authority per user, and a placement layer over
+:class:`~repro.overlay.hybrid.HybridOverlay` (DHT + social caches).
 """
 
 from __future__ import annotations
 
-import json
 import random as _random
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from repro.crypto.abe import CPABE
-from repro.crypto.hashing import hkdf
-from repro.crypto.symmetric import AuthenticatedCipher, random_key
-from repro.exceptions import AccessDeniedError, DecryptionError
+from repro.crypto.symmetric import random_key
+from repro.exceptions import (AccessDeniedError, DecryptionError,
+                              StorageError)
 from repro.integrity.relations import (Comment, CommentablePost, create_post,
                                        verify_comment, write_comment)
 from repro.fabric import Fabric
 from repro.overlay.hybrid import HybridFetchResult, HybridOverlay
+from repro.stack import (AclLayer, ContentItem, IntegrityLayer, LayerSpec,
+                         PlacementLayer, ProtectionStack, SystemSpec,
+                         register_system)
+
+CACHET_SPEC = register_system(SystemSpec(
+    name="cachet",
+    citation="Nilizadeh et al.",
+    overlay="hybrid structured/unstructured: DHT + gossip-based social "
+            "caches",
+    layers=(
+        LayerSpec("integrity", "per-post comment signing keys",
+                  table1_rows=("Integrity of data relations",),
+                  detail="signing key wrapped pairwise for the commenter "
+                         "audience (Section IV-C)"),
+        LayerSpec("acl", "CP-ABE hybrid encryption",
+                  table1_rows=("Attribute based encryption",
+                               "Hybrid encryption"),
+                  detail="per-owner authority; symmetric content key "
+                         "under an attribute policy (Section III-F)"),
+        LayerSpec("placement", "hybrid overlay publish",
+                  detail="DHT put + gossip caching along social links"),
+    )))
 
 
 class CachetNetwork:
@@ -38,6 +59,7 @@ class CachetNetwork:
     def __init__(self, graph: nx.Graph, seed: int = 0,
                  level: str = "TOY", cache_capacity: int = 32) -> None:
         self.graph = graph
+        self.seed = seed
         self.rng = _random.Random(seed)
         self.fabric = Fabric.create(seed=seed)
         self.sim = self.fabric.sim
@@ -55,12 +77,25 @@ class CachetNetwork:
         #: post id -> CommentablePost metadata (replicated with the post)
         self._posts: Dict[str, CommentablePost] = {}
         self._comments: Dict[str, List[Comment]] = {}
+        #: post id -> CP-ABE header (small object riding with the blob)
+        self._headers: Dict[str, object] = {}
+        self.stack = ProtectionStack([
+            IntegrityLayer(post=self._bind_comment_keys,
+                           spec=CACHET_SPEC.layers[0]),
+            AclLayer(post=self._abe_protect, read=self._abe_unprotect,
+                     spec=CACHET_SPEC.layers[1]),
+            PlacementLayer(post=self._publish, read=self._fetch,
+                           spec=CACHET_SPEC.layers[2]),
+        ], spec=CACHET_SPEC, tracer=self.fabric.tracer,
+            metrics=self.fabric.metrics)
 
     def _authority(self, owner: str) -> Tuple[CPABE, object, object]:
         if owner not in self._abe:
             scheme = CPABE(self.level)
+            # Seeded from (master seed, owner) only: authority creation is
+            # order-independent and never perturbs the network RNG stream.
             pk, msk = scheme.setup(
-                _random.Random(f"{owner}/{self.rng.random()}"))
+                _random.Random(f"cachet/authority/{self.seed}/{owner}"))
             self._abe[owner] = scheme
             self._abe_keys[owner] = (pk, msk)
         pk, msk = self._abe_keys[owner]
@@ -84,6 +119,59 @@ class CachetNetwork:
             self._pairwise[pair] = key
         return key
 
+    # -- stack layer hooks -------------------------------------------------------
+
+    def _bind_comment_keys(self, item: ContentItem) -> None:
+        commenter_keys = {user: self.pairwise_key(item.author, user)
+                          for user in item.recipients}
+        meta = create_post(item.cid, item.author, item.payload,
+                           commenter_keys, level=self.level, rng=self.rng)
+        self._posts[item.cid] = meta
+        self._comments.setdefault(item.cid, [])
+
+    def _abe_protect(self, item: ContentItem) -> None:
+        scheme, pk, _ = self._authority(item.author)
+        header, blob = scheme.encrypt_bytes(pk, item.payload,
+                                            item.meta["policy"], self.rng)
+        # ship header+payload as one DHT object (headers are small objects)
+        self._headers[item.cid] = header
+        item.payload = blob
+
+    def _publish(self, item: ContentItem) -> None:
+        self.overlay.publish(item.author, item.cid, item.payload)
+
+    def _fetch(self, item: ContentItem) -> None:
+        result = self.overlay.fetch(item.reader, item.cid)
+        item.meta["fetch"] = result
+        item.payload = result.value
+
+    def _abe_unprotect(self, item: ContentItem) -> None:
+        header = self._headers.get(item.cid)
+        if header is None:
+            raise StorageError(
+                f"no CP-ABE header for {item.cid!r}: nothing published "
+                "under that id")
+        scheme, pk, msk = self._authority(item.author)
+        if item.reader == item.author:
+            # The owner runs the authority: mint a key satisfying the
+            # post's own policy (owners can always read their data).
+            from repro.crypto.abe import policy_attributes
+            attrs = sorted(policy_attributes(header.policy))
+            key = scheme.keygen(pk, msk, attrs, self.rng)
+        else:
+            key = self._issued.get((item.author, item.reader))
+            if key is None:
+                raise AccessDeniedError(
+                    f"{item.author!r} issued no attribute key to "
+                    f"{item.reader!r}")
+        try:
+            text = scheme.decrypt_bytes(header, item.payload, key)
+        except DecryptionError as exc:
+            raise AccessDeniedError(
+                f"{item.reader!r}'s attributes do not satisfy the policy: "
+                f"{exc}")
+        item.result = text.decode()
+
     # -- posting (hybrid ABE + DHT/caching) ------------------------------------------
 
     def post(self, author: str, post_id: str, text: str, policy: str,
@@ -94,44 +182,19 @@ class CachetNetwork:
         gossip-cached); the comment verification key rides in the clear
         inside the post, its signing key wrapped for ``commenters``.
         """
-        scheme, pk, _ = self._authority(author)
-        commenter_keys = {user: self.pairwise_key(author, user)
-                          for user in commenters}
-        meta = create_post(post_id, author, text.encode(), commenter_keys,
-                           level=self.level, rng=self.rng)
-        self._posts[post_id] = meta
-        self._comments.setdefault(post_id, [])
-        header, blob = scheme.encrypt_bytes(pk, text.encode(), policy,
-                                            self.rng)
-        # ship header+payload as one DHT object (headers are small objects)
-        self._headers = getattr(self, "_headers", {})
-        self._headers[post_id] = header
-        self.overlay.publish(author, post_id, blob)
+        item = ContentItem(author=author, cid=post_id,
+                           payload=text.encode(),
+                           recipients=tuple(commenters),
+                           meta={"policy": policy})
+        self.stack.post(item)
         return post_id
 
     def read(self, reader: str, author: str,
              post_id: str) -> Tuple[str, HybridFetchResult]:
         """Fetch via caches-then-DHT; decrypt with the reader's ABE key."""
-        result = self.overlay.fetch(reader, post_id)
-        scheme, pk, msk = self._authority(author)
-        header = self._headers[post_id]
-        if reader == author:
-            # The owner runs the authority: mint a key satisfying the
-            # post's own policy (owners can always read their data).
-            from repro.crypto.abe import policy_attributes
-            attrs = sorted(policy_attributes(header.policy))
-            key = scheme.keygen(pk, msk, attrs, self.rng)
-        else:
-            key = self._issued.get((author, reader))
-            if key is None:
-                raise AccessDeniedError(
-                    f"{author!r} issued no attribute key to {reader!r}")
-        try:
-            text = scheme.decrypt_bytes(header, result.value, key)
-        except DecryptionError as exc:
-            raise AccessDeniedError(
-                f"{reader!r}'s attributes do not satisfy the policy: {exc}")
-        return text.decode(), result
+        item = ContentItem(author=author, reader=reader, cid=post_id)
+        self.stack.read(item)
+        return item.result, item.meta["fetch"]
 
     # -- comments (relation integrity) -------------------------------------------------
 

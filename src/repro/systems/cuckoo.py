@@ -21,6 +21,20 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.exceptions import OverlayError, StorageError
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
+from repro.stack import (ContentItem, LayerSpec, PlacementLayer,
+                         ProtectionStack, SystemSpec, register_system)
+
+CUCKOO_SPEC = register_system(SystemSpec(
+    name="cuckoo",
+    citation="Xu et al.",
+    overlay="hybrid: unstructured follower push + structured DHT pull",
+    layers=(
+        LayerSpec("placement", "follower push + Chord DHT store",
+                  detail="breadth-first socio-aware push; the DHT copy "
+                         "is the catch-up pull path (Section II-B)"),
+    ),
+    notes="microblogging: content is public, so the pipeline is "
+          "placement-only — no ACL or integrity layer"))
 
 
 class CuckooNetwork:
@@ -42,6 +56,12 @@ class CuckooNetwork:
         self._built = False
         self.push_deliveries = 0
         self.pull_fetches = 0
+        self.stack = ProtectionStack([
+            PlacementLayer(post=self._store_and_push,
+                           read=self._inbox_or_pull,
+                           spec=CUCKOO_SPEC.layers[0]),
+        ], spec=CUCKOO_SPEC, tracer=self.fabric.tracer,
+            metrics=self.fabric.metrics)
 
     # -- membership -----------------------------------------------------------------
 
@@ -65,20 +85,13 @@ class CuckooNetwork:
             self.ring.build()
             self._built = True
 
-    # -- publish: push to followers + structured store --------------------------------
+    # -- stack layer hooks -------------------------------------------------------
 
-    def post(self, author: str, text: bytes) -> str:
-        """Publish: DHT store (pull path) + social push to online followers.
-
-        Push propagates breadth-first through the follower set (followers
-        relay to co-followers, Cuckoo's socio-aware trick) with a fanout
-        bound; offline followers simply miss the push — the DHT copy is
-        their catch-up path.
-        """
-        self._ensure_built()
-        post_id = f"cuckoo/{author}/{self._sequence}"
+    def _store_and_push(self, item: ContentItem) -> None:
+        author, text = item.author, item.payload
+        item.cid = f"cuckoo/{author}/{self._sequence}"
         self._sequence += 1
-        self.ring.put(author, post_id, text)
+        self.ring.put(author, item.cid, text)
         # breadth-first push through the follower graph
         visited: Set[str] = {author}
         queue = deque([(author, follower)
@@ -91,27 +104,47 @@ class CuckooNetwork:
             if not self.network.is_online(target):
                 continue  # missed push; DHT pull will catch them up
             self.network.rpc(relay, target, kind="cuckoo_push")
-            self.inboxes[target][post_id] = text
+            self.inboxes[target][item.cid] = text
             self.push_deliveries += 1
             # socio-aware relay: co-followers of the same publisher
             co_followers = [f for f in sorted(self.followers[author])
                             if f not in visited]
             for next_target in co_followers[:self.push_fanout]:
                 queue.append((target, next_target))
-        return post_id
+
+    def _inbox_or_pull(self, item: ContentItem) -> None:
+        pushed = self.inboxes.get(item.reader, {}).get(item.cid)
+        if pushed is not None:
+            item.result = (pushed, "push")
+            return
+        value, _ = self.ring.get(item.reader, item.cid)
+        self.inboxes[item.reader][item.cid] = value
+        self.pull_fetches += 1
+        item.result = (value, "pull")
+
+    # -- publish: push to followers + structured store --------------------------------
+
+    def post(self, author: str, text: bytes) -> str:
+        """Publish: DHT store (pull path) + social push to online followers.
+
+        Push propagates breadth-first through the follower set (followers
+        relay to co-followers, Cuckoo's socio-aware trick) with a fanout
+        bound; offline followers simply miss the push — the DHT copy is
+        their catch-up path.
+        """
+        self._ensure_built()
+        item = ContentItem(author=author, payload=text)
+        self.stack.post(item)
+        return item.cid
 
     # -- read: unstructured first, structured fallback ----------------------------------
 
     def read(self, reader: str, post_id: str) -> Tuple[bytes, str]:
         """The Cuckoo split: inbox (push) hit or DHT (pull) fallback."""
         self._ensure_built()
-        pushed = self.inboxes.get(reader, {}).get(post_id)
-        if pushed is not None:
-            return pushed, "push"
-        value, _ = self.ring.get(reader, post_id)
-        self.inboxes[reader][post_id] = value
-        self.pull_fetches += 1
-        return value, "pull"
+        item = ContentItem(author="", reader=reader, cid=post_id)
+        self.stack.read(item)
+        return item.result
 
     def push_hit_rate(self) -> float:
         """Fraction of reads served by the unstructured push path."""

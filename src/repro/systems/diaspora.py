@@ -23,6 +23,22 @@ from repro.exceptions import AccessDeniedError, DecryptionError, OverlayError
 from repro.overlay.federation import FederatedNetwork
 from repro.overlay.network import SimNetwork
 from repro.overlay.simulator import Simulator
+from repro.stack import (AclLayer, ContentItem, LayerSpec, PlacementLayer,
+                         ProtectionStack, SystemSpec, register_system)
+
+DIASPORA_SPEC = register_system(SystemSpec(
+    name="diaspora",
+    citation="the paper's flagship federation example",
+    overlay="server federation (pods); no pod holds a global view",
+    layers=(
+        LayerSpec("acl", "per-aspect symmetric keys",
+                  table1_rows=("Symmetric key encryption",),
+                  detail="one key per contact group, rotated on removal "
+                         "(Section III-B)"),
+        LayerSpec("placement", "selective pod federation",
+                  detail="ciphertext federated only to the aspect "
+                         "members' home pods"),
+    )))
 
 
 class DiasporaNetwork:
@@ -43,6 +59,12 @@ class DiasporaNetwork:
         #: content id -> (owner, aspect, epoch)
         self._catalog: Dict[str, Tuple[str, str, int]] = {}
         self._sequence = 0
+        self.stack = ProtectionStack([
+            AclLayer(post=self._aspect_encrypt, read=self._aspect_decrypt,
+                     spec=DIASPORA_SPEC.layers[0]),
+            PlacementLayer(post=self._federate, read=self._pod_fetch,
+                           spec=DIASPORA_SPEC.layers[1]),
+        ], spec=DIASPORA_SPEC)
 
     # -- membership -------------------------------------------------------------------
 
@@ -82,36 +104,59 @@ class DiasporaNetwork:
         for member in members:
             self._keyrings[member][(owner, aspect, epoch + 1)] = new_key
 
+    # -- stack layer hooks -------------------------------------------------------
+
+    def _aspect_encrypt(self, item: ContentItem) -> None:
+        aspect = item.meta["aspect"]
+        entry = self._aspect_keys.get((item.author, aspect))
+        if entry is None:
+            raise OverlayError(f"{item.author!r} has no aspect {aspect!r}")
+        epoch, key = entry
+        item.recipients = tuple(sorted(self.aspects[(item.author, aspect)]))
+        item.meta["epoch"] = epoch
+        item.payload = StreamCipher(key).encrypt(item.payload, self.rng)
+
+    def _federate(self, item: ContentItem) -> None:
+        item.cid = f"dsp{self._sequence}"
+        self._sequence += 1
+        self.federation.post(item.author, item.cid, item.payload,
+                             list(item.recipients))
+        self._catalog[item.cid] = (item.author, item.meta["aspect"],
+                                   item.meta["epoch"])
+
+    def _pod_fetch(self, item: ContentItem) -> None:
+        item.payload = self.federation.fetch(item.reader, item.cid)
+
+    def _aspect_decrypt(self, item: ContentItem) -> None:
+        aspect, epoch = item.meta["aspect"], item.meta["epoch"]
+        key = self._keyrings.get(item.reader, {}).get(
+            (item.author, aspect, epoch))
+        if key is None:
+            raise AccessDeniedError(
+                f"{item.reader!r} holds no key for {item.author!r}/"
+                f"{aspect!r} epoch {epoch}")
+        try:
+            item.result = StreamCipher(key).decrypt(item.payload).decode()
+        except DecryptionError:
+            raise AccessDeniedError(
+                f"{item.reader!r}'s aspect key does not open {item.cid!r}")
+
     # -- posting ------------------------------------------------------------------------
 
     def post(self, owner: str, aspect: str, text: str) -> str:
         """Encrypt for the aspect and federate to its members' pods only."""
-        entry = self._aspect_keys.get((owner, aspect))
-        if entry is None:
-            raise OverlayError(f"{owner!r} has no aspect {aspect!r}")
-        epoch, key = entry
-        members = sorted(self.aspects[(owner, aspect)])
-        blob = StreamCipher(key).encrypt(text.encode(), self.rng)
-        content_id = f"dsp{self._sequence}"
-        self._sequence += 1
-        self.federation.post(owner, content_id, blob, members)
-        self._catalog[content_id] = (owner, aspect, epoch)
-        return content_id
+        item = ContentItem(author=owner, payload=text.encode(),
+                           meta={"aspect": aspect})
+        self.stack.post(item)
+        return item.cid
 
     def read(self, reader: str, content_id: str) -> str:
         """Fetch from the reader's pod and decrypt with the aspect key."""
         owner, aspect, epoch = self._catalog[content_id]
-        blob = self.federation.fetch(reader, content_id)
-        key = self._keyrings.get(reader, {}).get((owner, aspect, epoch))
-        if key is None:
-            raise AccessDeniedError(
-                f"{reader!r} holds no key for {owner!r}/{aspect!r} "
-                f"epoch {epoch}")
-        try:
-            return StreamCipher(key).decrypt(blob).decode()
-        except DecryptionError:
-            raise AccessDeniedError(
-                f"{reader!r}'s aspect key does not open {content_id!r}")
+        item = ContentItem(author=owner, reader=reader, cid=content_id,
+                           meta={"aspect": aspect, "epoch": epoch})
+        self.stack.read(item)
+        return item.result
 
     # -- the federation privacy story -------------------------------------------------------
 

@@ -24,6 +24,23 @@ from repro.dosn.identity import Identity, KeyRegistry, create_identity
 from repro.exceptions import AccessDeniedError, DecryptionError, StorageError
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
+from repro.stack import (AclLayer, ContentItem, LayerSpec, PlacementLayer,
+                         ProtectionStack, SystemSpec, register_system)
+
+PEERSON_SPEC = register_system(SystemSpec(
+    name="peerson",
+    citation="Buchegger et al.",
+    overlay="structured control overlay (Chord DHT lookup + storage)",
+    layers=(
+        LayerSpec("acl", "public-key wrapped content keys",
+                  table1_rows=("Public key encryption",),
+                  detail="per-item content key, ElGamal-wrapped for each "
+                         "friend; keys exchanged out of band "
+                         "(Section III-C / IV-A)"),
+        LayerSpec("placement", "Chord DHT put",
+                  detail="replicated DHT storage; mailboxes enable "
+                         "asynchronous delivery"),
+    )))
 
 
 class PeersonNetwork:
@@ -42,6 +59,13 @@ class PeersonNetwork:
         self.friends: Dict[str, set] = {}
         self._mailbox_counters: Dict[str, int] = {}
         self._built = False
+        self.stack = ProtectionStack([
+            AclLayer(post=self._wrap_for_friends, read=self._unwrap,
+                     spec=PEERSON_SPEC.layers[0]),
+            PlacementLayer(post=self._dht_put, read=self._dht_get,
+                           spec=PEERSON_SPEC.layers[1]),
+        ], spec=PEERSON_SPEC, tracer=self.fabric.tracer,
+            metrics=self.fabric.metrics)
 
     # -- membership --------------------------------------------------------------
 
@@ -66,43 +90,60 @@ class PeersonNetwork:
             self.ring.build()
             self._built = True
 
+    # -- stack layer hooks -------------------------------------------------------
+
+    def _wrap_for_friends(self, item: ContentItem) -> None:
+        content_key = random_key(32, self.rng)
+        wraps: Dict[str, str] = {}
+        for friend in sorted(self.friends[item.author]) + [item.author]:
+            public = self.registry.get(friend).encryption_key
+            wraps[friend] = elgamal.encrypt_bytes(public, content_key,
+                                                  self.rng).hex()
+        payload = AuthenticatedCipher(content_key).encrypt(item.payload,
+                                                           rng=self.rng)
+        import json
+        item.payload = json.dumps({"wraps": wraps,
+                                   "payload": payload.hex()}).encode()
+
+    def _dht_put(self, item: ContentItem) -> None:
+        item.cid = f"peerson/{item.author}/{item.meta['item_id']}"
+        self.ring.put(item.author, item.cid, item.payload)
+
+    def _dht_get(self, item: ContentItem) -> None:
+        item.payload, _ = self.ring.get(item.reader, item.cid)
+
+    def _unwrap(self, item: ContentItem) -> None:
+        import json
+        record = json.loads(item.payload.decode())
+        wrap = record["wraps"].get(item.reader)
+        if wrap is None:
+            raise AccessDeniedError(
+                f"{item.reader!r} has no wrapped key on {item.cid!r}")
+        private = self.identities[item.reader].encryption_key
+        try:
+            content_key = elgamal.decrypt_bytes(private, bytes.fromhex(wrap))
+            item.result = AuthenticatedCipher(content_key).decrypt(
+                bytes.fromhex(record["payload"]))
+        except DecryptionError:
+            raise AccessDeniedError(
+                f"{item.reader!r} cannot unwrap {item.cid!r}")
+
     # -- content: public-key wrapped, DHT stored -----------------------------------
 
     def post(self, author: str, item_id: str, content: bytes) -> str:
         """Encrypt for the author's friends and store under a DHT key."""
         self._ensure_built()
-        content_key = random_key(32, self.rng)
-        wraps: Dict[str, str] = {}
-        for friend in sorted(self.friends[author]) + [author]:
-            public = self.registry.get(friend).encryption_key
-            wraps[friend] = elgamal.encrypt_bytes(public, content_key,
-                                                  self.rng).hex()
-        payload = AuthenticatedCipher(content_key).encrypt(content,
-                                                           rng=self.rng)
-        import json
-        blob = json.dumps({"wraps": wraps,
-                           "payload": payload.hex()}).encode()
-        dht_key = f"peerson/{author}/{item_id}"
-        self.ring.put(author, dht_key, blob)
-        return dht_key
+        item = ContentItem(author=author, payload=content,
+                           meta={"item_id": item_id})
+        self.stack.post(item)
+        return item.cid
 
     def read(self, reader: str, dht_key: str) -> bytes:
         """Fetch from the DHT and unwrap with the reader's private key."""
         self._ensure_built()
-        import json
-        blob, _ = self.ring.get(reader, dht_key)
-        record = json.loads(blob.decode())
-        wrap = record["wraps"].get(reader)
-        if wrap is None:
-            raise AccessDeniedError(
-                f"{reader!r} has no wrapped key on {dht_key!r}")
-        private = self.identities[reader].encryption_key
-        try:
-            content_key = elgamal.decrypt_bytes(private, bytes.fromhex(wrap))
-            return AuthenticatedCipher(content_key).decrypt(
-                bytes.fromhex(record["payload"]))
-        except DecryptionError:
-            raise AccessDeniedError(f"{reader!r} cannot unwrap {dht_key!r}")
+        item = ContentItem(author="", reader=reader, cid=dht_key)
+        self.stack.read(item)
+        return item.result
 
     # -- asynchronous messaging through the DHT -------------------------------------
 

@@ -23,6 +23,22 @@ from repro.exceptions import LookupError_, OverlayError, StorageError
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing, LookupResult
 from repro.overlay.network import SimNode
+from repro.stack import (ContentItem, LayerSpec, PlacementLayer,
+                         ProtectionStack, SystemSpec, register_system)
+
+PRPL_SPEC = register_system(SystemSpec(
+    name="prpl",
+    citation="personal-cloud butler design",
+    overlay="two-tier: unstructured per-user devices under a structured "
+            "butler Chord ring",
+    layers=(
+        LayerSpec("placement", "device store + butler index",
+                  detail="items live on whichever device created them; "
+                         "the butler federates and indexes them "
+                         "(Section II-B)"),
+    ),
+    notes="placement-only pipeline: Prpl's contribution is the storage "
+          "organization, not content cryptography"))
 
 
 class Device(SimNode):
@@ -49,6 +65,11 @@ class PrplNetwork:
         #: user -> item -> device id holding it (the butler's index)
         self.butler_index: Dict[str, Dict[str, str]] = {}
         self._built = False
+        self.stack = ProtectionStack([
+            PlacementLayer(post=self._device_store, read=self._butler_fetch,
+                           spec=PRPL_SPEC.layers[0]),
+        ], spec=PRPL_SPEC, tracer=self.fabric.tracer,
+            metrics=self.fabric.metrics)
 
     # -- enrollment ------------------------------------------------------------------
 
@@ -74,41 +95,28 @@ class PrplNetwork:
             self.ring.build()
             self._built = True
 
-    # -- storing: unstructured, but indexed by the butler ------------------------------
+    # -- stack layer hooks -------------------------------------------------------
 
-    def store(self, user: str, item_id: str, content: bytes,
-              device_id: Optional[str] = None) -> str:
-        """Store on one of the user's devices; the butler learns where.
-
-        Devices are picked arbitrarily (the 'distributed and unstructured'
-        half); only the butler's index makes the item findable.
-        """
+    def _device_store(self, item: ContentItem) -> None:
+        user, item_id = item.author, item.meta["item_id"]
         device_ids = self.user_devices.get(user)
         if not device_ids:
             raise OverlayError(f"{user!r} is not registered")
+        device_id = item.meta.get("device_id")
         if device_id is None:
             device_id = self.rng.choice(device_ids)
         if device_id not in device_ids:
             raise OverlayError(f"{device_id!r} is not {user}'s device")
-        self.devices[device_id].items[item_id] = content
+        self.devices[device_id].items[item_id] = item.payload
         self.butler_index[user][item_id] = device_id
         self.network.rpc(device_id, f"butler:{user}", kind="prpl_index")
-        return device_id
+        item.meta["device_id"] = device_id
 
-    # -- lookup: structured to the butler, one hop to the device -----------------------
-
-    def fetch(self, requester: str, owner: str,
-              item_id: str) -> Tuple[bytes, int]:
-        """Find ``owner``'s item from anywhere: ring -> butler -> device.
-
-        Returns ``(content, total hops)``.  The butler being a ring node
-        means any user's butler is reachable in O(log n); the final hop is
-        the butler's device redirect.
-        """
-        self._ensure_built()
-        start = f"butler:{requester}"
+    def _butler_fetch(self, item: ContentItem) -> None:
+        owner, item_id = item.author, item.meta["item_id"]
+        start = f"butler:{item.reader}"
         if start not in self.ring.nodes:
-            raise OverlayError(f"{requester!r} is not registered")
+            raise OverlayError(f"{item.reader!r} is not registered")
         # structured phase: route to the owner's butler by name
         result = self.ring.lookup(start, f"butler:{owner}")
         hops = result.hops
@@ -126,7 +134,37 @@ class PrplNetwork:
         if not ok or item_id not in device.items:
             raise StorageError(
                 f"device {device_id!r} holding {item_id!r} is offline")
-        return device.items[item_id], hops
+        item.result = (device.items[item_id], hops)
+
+    # -- storing: unstructured, but indexed by the butler ------------------------------
+
+    def store(self, user: str, item_id: str, content: bytes,
+              device_id: Optional[str] = None) -> str:
+        """Store on one of the user's devices; the butler learns where.
+
+        Devices are picked arbitrarily (the 'distributed and unstructured'
+        half); only the butler's index makes the item findable.
+        """
+        item = ContentItem(author=user, payload=content,
+                           meta={"item_id": item_id, "device_id": device_id})
+        self.stack.post(item)
+        return item.meta["device_id"]
+
+    # -- lookup: structured to the butler, one hop to the device -----------------------
+
+    def fetch(self, requester: str, owner: str,
+              item_id: str) -> Tuple[bytes, int]:
+        """Find ``owner``'s item from anywhere: ring -> butler -> device.
+
+        Returns ``(content, total hops)``.  The butler being a ring node
+        means any user's butler is reachable in O(log n); the final hop is
+        the butler's device redirect.
+        """
+        self._ensure_built()
+        item = ContentItem(author=owner, reader=requester,
+                           meta={"item_id": item_id})
+        self.stack.read(item)
+        return item.result
 
     # -- failure knobs ------------------------------------------------------------------
 

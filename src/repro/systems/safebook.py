@@ -26,6 +26,29 @@ from repro.dosn.identity import Identity, KeyRegistry, create_identity
 from repro.exceptions import AccessDeniedError, SearchError, StorageError
 from repro.integrity.envelope import MessageEnvelope, open_envelope, seal
 from repro.search.friend_routing import Matryoshka, RoutedRequest
+from repro.stack import (AclLayer, ContentItem, IntegrityLayer, LayerSpec,
+                         PlacementLayer, ProtectionStack, SystemSpec,
+                         register_system)
+
+SAFEBOOK_SPEC = register_system(SystemSpec(
+    name="safebook",
+    citation="Cutillo et al.",
+    overlay="concentric matryoshka shells over real-life trust + "
+            "structured lookup",
+    layers=(
+        LayerSpec("integrity", "signed message envelope",
+                  table1_rows=("Integrity of data owner and data content",),
+                  detail="profile sealed under the owner's signature "
+                         "(Section IV)"),
+        LayerSpec("acl", "friend-group stream cipher",
+                  table1_rows=("Symmetric key encryption",),
+                  detail="one group key per owner, held by friends"),
+        LayerSpec("placement", "shell-1 mirror replication",
+                  table1_rows=("Privacy of searcher",),
+                  detail="innermost-shell friends mirror the profile and "
+                         "answer anonymously routed requests "
+                         "(Section V-B)"),
+    )))
 
 
 class SafebookNetwork:
@@ -52,6 +75,15 @@ class SafebookNetwork:
             self.identities[name] = identity
             self.online[name] = True
             self._group_keys[name] = random_key(32, self.rng)
+        self.stack = ProtectionStack([
+            IntegrityLayer(post=self._seal_profile,
+                           read=self._open_envelope,
+                           spec=SAFEBOOK_SPEC.layers[0]),
+            AclLayer(post=self._group_encrypt, read=self._group_decrypt,
+                     spec=SAFEBOOK_SPEC.layers[1]),
+            PlacementLayer(post=self._mirror_out, read=self._mirror_fetch,
+                           spec=SAFEBOOK_SPEC.layers[2]),
+        ], spec=SAFEBOOK_SPEC)
 
     def _matryoshka(self, core: str) -> Matryoshka:
         shells = self._shells.get(core)
@@ -60,63 +92,34 @@ class SafebookNetwork:
             self._shells[core] = shells
         return shells
 
-    # -- profile publication with mirroring -----------------------------------------
+    # -- stack layer hooks -------------------------------------------------------
 
-    def publish_profile(self, owner: str, profile: bytes,
-                        now: float = 0.0) -> int:
-        """Sign + encrypt the profile and replicate to shell-1 mirrors.
-
-        Returns the number of mirrors provisioned.  The envelope signature
-        gives owner/content integrity (a mirror cannot alter the profile
-        undetected); the group key restricts readability to friends.
-        """
-        envelope = seal(self.identities[owner].signer, owner, profile,
-                        issued_at=now, rng=self.rng)
+    def _seal_profile(self, item: ContentItem) -> None:
+        envelope = seal(self.identities[item.author].signer, item.author,
+                        item.payload, issued_at=item.meta.get("now", 0.0),
+                        rng=self.rng)
         import json
-        serialized = json.dumps({
+        item.payload = json.dumps({
             "sender": envelope.sender, "body": envelope.body.hex(),
             "issued_at": envelope.issued_at,
             "sequence": envelope.sequence,
             "signature": list(envelope.signature),
         }).encode()
-        blob = StreamCipher(self._group_keys[owner]).encrypt(serialized,
-                                                             self.rng)
-        mirrors = self._matryoshka(owner).shells[0]
-        self._mirrors[owner] = {mirror: blob for mirror in mirrors}
-        return len(mirrors)
 
-    def _decrypt_and_verify(self, owner: str, reader: str,
-                            blob: bytes) -> bytes:
-        if reader != owner and reader not in set(
-                str(n) for n in self.graph.neighbors(owner)):
-            raise AccessDeniedError(
-                f"{reader!r} is not a friend of {owner!r}")
-        import json
-        serialized = StreamCipher(self._group_keys[owner]).decrypt(blob)
-        data = json.loads(serialized.decode())
-        envelope = MessageEnvelope(
-            sender=data["sender"], recipient=None,
-            body=bytes.fromhex(data["body"]),
-            issued_at=data["issued_at"], expires_at=None,
-            sequence=data["sequence"],
-            signature=tuple(data["signature"]))
-        return open_envelope(envelope,
-                             self.registry.get(owner).verify_key)
+    def _group_encrypt(self, item: ContentItem) -> None:
+        item.payload = StreamCipher(
+            self._group_keys[item.author]).encrypt(item.payload, self.rng)
 
-    # -- anonymous retrieval through the shells ---------------------------------------
+    def _mirror_out(self, item: ContentItem) -> None:
+        mirrors = self._matryoshka(item.author).shells[0]
+        self._mirrors[item.author] = {mirror: item.payload
+                                      for mirror in mirrors}
+        item.meta["mirrors"] = len(mirrors)
 
-    def retrieve_profile(self, requester: str, owner: str
-                         ) -> Tuple[bytes, RoutedRequest, str]:
-        """Fetch ``owner``'s profile anonymously via their matryoshka.
-
-        The request enters at a random outermost-shell node and is relayed
-        inward; the innermost relay (a mirror) serves the replica — so the
-        profile is retrievable *and* the owner never learns who asked,
-        even while offline.  Raises :class:`StorageError` when neither the
-        owner nor any mirror is online.
-        """
+    def _mirror_fetch(self, item: ContentItem) -> None:
+        owner = item.author
         shells = self._matryoshka(owner)
-        request = shells.route_request(requester, self.rng)
+        request = shells.route_request(item.reader, self.rng)
         for relay in request.path:
             if not self.online.get(relay, False):
                 raise SearchError(
@@ -130,8 +133,67 @@ class SafebookNetwork:
             if blob is None:
                 raise StorageError(
                     f"no online mirror holds {owner!r}'s profile")
-        return (self._decrypt_and_verify(owner, requester, blob),
-                request, mirror)
+        item.meta["request"] = request
+        item.meta["mirror"] = mirror
+        item.payload = blob
+
+    def _group_decrypt(self, item: ContentItem) -> None:
+        owner = item.author
+        if item.reader != owner and item.reader not in set(
+                str(n) for n in self.graph.neighbors(owner)):
+            raise AccessDeniedError(
+                f"{item.reader!r} is not a friend of {owner!r}")
+        item.payload = StreamCipher(
+            self._group_keys[owner]).decrypt(item.payload)
+
+    def _open_envelope(self, item: ContentItem) -> None:
+        import json
+        data = json.loads(item.payload.decode())
+        envelope = MessageEnvelope(
+            sender=data["sender"], recipient=None,
+            body=bytes.fromhex(data["body"]),
+            issued_at=data["issued_at"], expires_at=None,
+            sequence=data["sequence"],
+            signature=tuple(data["signature"]))
+        item.result = open_envelope(
+            envelope, self.registry.get(item.author).verify_key)
+
+    # -- profile publication with mirroring -----------------------------------------
+
+    def publish_profile(self, owner: str, profile: bytes,
+                        now: float = 0.0) -> int:
+        """Sign + encrypt the profile and replicate to shell-1 mirrors.
+
+        Returns the number of mirrors provisioned.  The envelope signature
+        gives owner/content integrity (a mirror cannot alter the profile
+        undetected); the group key restricts readability to friends.
+        """
+        item = ContentItem(author=owner, payload=profile,
+                           meta={"now": now})
+        self.stack.post(item)
+        return item.meta["mirrors"]
+
+    def _decrypt_and_verify(self, owner: str, reader: str,
+                            blob: bytes) -> bytes:
+        item = ContentItem(author=owner, reader=reader, payload=blob)
+        self.stack.read(item, only=("acl", "integrity"))
+        return item.result
+
+    # -- anonymous retrieval through the shells ---------------------------------------
+
+    def retrieve_profile(self, requester: str, owner: str
+                         ) -> Tuple[bytes, RoutedRequest, str]:
+        """Fetch ``owner``'s profile anonymously via their matryoshka.
+
+        The request enters at a random outermost-shell node and is relayed
+        inward; the innermost relay (a mirror) serves the replica — so the
+        profile is retrievable *and* the owner never learns who asked,
+        even while offline.  Raises :class:`StorageError` when neither the
+        owner nor any mirror is online.
+        """
+        item = ContentItem(author=owner, reader=requester)
+        self.stack.read(item)
+        return item.result, item.meta["request"], item.meta["mirror"]
 
     def availability(self, owner: str, probes: int = 50,
                      offline_probability: float = 0.5,

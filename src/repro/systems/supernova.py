@@ -24,6 +24,23 @@ from repro.overlay.churn import ExponentialOnOff
 from repro.overlay.network import SimNetwork
 from repro.overlay.simulator import Simulator
 from repro.overlay.superpeer import SuperPeerOverlay
+from repro.stack import (AclLayer, ContentItem, LayerSpec, PlacementLayer,
+                         ProtectionStack, SystemSpec, register_system)
+
+SUPERNOVA_SPEC = register_system(SystemSpec(
+    name="supernova",
+    citation="Sharma & Datta",
+    overlay="semi-structured super-peer tier with uptime tracking",
+    layers=(
+        LayerSpec("acl", "owner symmetric key",
+                  table1_rows=("Symmetric key encryption",),
+                  detail="one content key per owner, handed to friends "
+                         "out of band"),
+        LayerSpec("placement", "storekeeper replication",
+                  detail="uptime-picked storekeepers hold ciphertext; "
+                         "super-peers index the keeper set "
+                         "(Section II-B)"),
+    )))
 
 
 class SupernovaNetwork:
@@ -43,6 +60,12 @@ class SupernovaNetwork:
         self.agreements: Dict[str, List[str]] = {}
         #: storekeeper -> {(owner, item): blob}
         self._kept: Dict[str, Dict[Tuple[str, str], bytes]] = {}
+        self.stack = ProtectionStack([
+            AclLayer(post=self._owner_encrypt, read=self._owner_decrypt,
+                     spec=SUPERNOVA_SPEC.layers[0]),
+            PlacementLayer(post=self._keeper_store, read=self._keeper_fetch,
+                           spec=SUPERNOVA_SPEC.layers[1]),
+        ], spec=SUPERNOVA_SPEC)
 
     # -- membership -----------------------------------------------------------------
 
@@ -71,22 +94,63 @@ class SupernovaNetwork:
         self.agreements[owner] = keepers
         return keepers
 
-    def store(self, owner: str, item_id: str, content: bytes) -> None:
-        """Encrypt and hand copies to every storekeeper + the index."""
-        keepers = self.agreements.get(owner)
-        if keepers is None:
-            raise OverlayError(
-                f"{owner!r} has no storekeeper agreement; call "
-                "arrange_storekeepers first")
-        blob = StreamCipher(self._keys[owner]).encrypt(content, self.rng)
+    # -- stack layer hooks -------------------------------------------------------
+
+    def _owner_encrypt(self, item: ContentItem) -> None:
+        item.payload = StreamCipher(
+            self._keys[item.author]).encrypt(item.payload, self.rng)
+
+    def _keeper_store(self, item: ContentItem) -> None:
+        owner, item_id = item.author, item.meta["item_id"]
+        keepers = self.agreements[owner]
         for keeper in keepers:
-            self._kept[keeper][(owner, item_id)] = blob
+            self._kept[keeper][(owner, item_id)] = item.payload
             self.network.rpc(owner, keeper, kind="sn_store")
         # publish the index entry so lookups find the keepers
         self.overlay.publish(owner, f"sn/{owner}/{item_id}", b"")
         index_sp = self.overlay._index_super(f"sn/{owner}/{item_id}")
         self.overlay.super_peers[index_sp].index[
             f"sn/{owner}/{item_id}"] = list(keepers)
+
+    def _keeper_fetch(self, item: ContentItem) -> None:
+        owner, item_id = item.author, item.meta["item_id"]
+        result = self.overlay.lookup(item.reader, f"sn/{owner}/{item_id}")
+        for keeper in result.holders:
+            peer = self.overlay.peers.get(keeper)
+            if peer is None or not peer.online:
+                continue
+            blob = self._kept.get(keeper, {}).get((owner, item_id))
+            if blob is None:
+                continue
+            self.network.rpc(item.reader, keeper, kind="sn_fetch")
+            item.payload = blob
+            return
+        raise StorageError(
+            f"no live storekeeper for {owner!r}/{item_id!r}")
+
+    def _owner_decrypt(self, item: ContentItem) -> None:
+        owner_key = item.meta.get("owner_key")
+        key = owner_key if owner_key is not None \
+            else self._keys.get(item.reader) if item.reader == item.author \
+            else None
+        if item.reader == item.author:
+            key = self._keys[item.author]
+        if key is None:
+            raise StorageError(
+                f"{item.reader!r} fetched ciphertext but holds no key of "
+                f"{item.author!r}")
+        item.result = StreamCipher(key).decrypt(item.payload)
+
+    # -- the content path ---------------------------------------------------------
+
+    def store(self, owner: str, item_id: str, content: bytes) -> None:
+        """Encrypt and hand copies to every storekeeper + the index."""
+        if self.agreements.get(owner) is None:
+            raise OverlayError(
+                f"{owner!r} has no storekeeper agreement; call "
+                "arrange_storekeepers first")
+        self.stack.post(ContentItem(author=owner, payload=content,
+                                    meta={"item_id": item_id}))
 
     def retrieve(self, reader: str, owner: str, item_id: str,
                  owner_key: Optional[bytes] = None) -> bytes:
@@ -95,26 +159,10 @@ class SupernovaNetwork:
         ``owner_key`` models the out-of-band friend-key handoff; readers
         without it get ciphertext they cannot open.
         """
-        result = self.overlay.lookup(reader, f"sn/{owner}/{item_id}")
-        for keeper in result.holders:
-            peer = self.overlay.peers.get(keeper)
-            if peer is None or not peer.online:
-                continue
-            blob = self._kept.get(keeper, {}).get((owner, item_id))
-            if blob is None:
-                continue
-            self.network.rpc(reader, keeper, kind="sn_fetch")
-            key = owner_key if owner_key is not None \
-                else self._keys.get(reader) if reader == owner else None
-            if reader == owner:
-                key = self._keys[owner]
-            if key is None:
-                raise StorageError(
-                    f"{reader!r} fetched ciphertext but holds no key of "
-                    f"{owner!r}")
-            return StreamCipher(key).decrypt(blob)
-        raise StorageError(
-            f"no live storekeeper for {owner!r}/{item_id!r}")
+        item = ContentItem(author=owner, reader=reader,
+                           meta={"item_id": item_id, "owner_key": owner_key})
+        self.stack.read(item)
+        return item.result
 
     def friend_key(self, owner: str) -> bytes:
         """The owner's content key (handed to friends out-of-band)."""

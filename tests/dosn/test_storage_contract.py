@@ -1,0 +1,119 @@
+"""The StorageBackend contract, enforced across all four architectures.
+
+Every backend behind :class:`~repro.dosn.api.DosnNetwork` must satisfy the
+same interface semantics — roundtripping blobs, failing on unknown ids
+with the repo's storage exception family, and reporting observer views
+consistent with what was actually stored — or the E8 exposure comparison
+stops being apples-to-apples.
+"""
+
+import pytest
+
+from repro.dosn.provider import CentralProvider
+from repro.dosn.storage import (CentralBackend, DHTBackend,
+                                FederationBackend, LocalBackend)
+from repro.exceptions import ReproError, StorageError
+from repro.fabric import Fabric
+from repro.overlay.chord import ChordRing
+from repro.overlay.federation import FederatedNetwork
+
+USERS = ["alice", "bob", "carol"]
+
+
+def _central():
+    return CentralBackend(CentralProvider())
+
+
+def _dht():
+    fabric = Fabric.create(seed=7)
+    ring = ChordRing(fabric, replication=2)
+    for name in USERS:
+        ring.add_node(name)
+    ring.build()
+    return DHTBackend(ring)
+
+
+def _federation():
+    fabric = Fabric.create(seed=7)
+    federation = FederatedNetwork(fabric.network, ["pod0", "pod1"])
+    for name in USERS:
+        federation.register_user(name)
+    return FederationBackend(federation)
+
+
+def _local():
+    return LocalBackend()
+
+
+BACKENDS = {
+    "central": _central,
+    "dht": _dht,
+    "federation": _federation,
+    "local": _local,
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request):
+    return BACKENDS[request.param]()
+
+
+class TestStorageBackendContract:
+    def test_put_get_roundtrip(self, backend):
+        backend.put("alice", "cid-1", b"hello", recipients=["bob"])
+        assert backend.get("bob", "cid-1") == b"hello"
+
+    def test_reader_can_be_the_author(self, backend):
+        backend.put("alice", "cid-2", b"mine", recipients=[])
+        assert backend.get("alice", "cid-2") == b"mine"
+
+    def test_unknown_cid_raises_storage_family(self, backend):
+        with pytest.raises(ReproError):
+            backend.get("alice", "no-such-cid")
+
+    def test_observer_views_cover_stored_content(self, backend):
+        backend.put("alice", "cid-4", b"blob", recipients=["bob", "carol"])
+        views = backend.observer_views()
+        assert views, "at least one observer must report a view"
+        stored_anywhere = set().union(*views.values())
+        assert "cid-4" in stored_anywhere
+
+    def test_observer_views_no_phantom_ids(self, backend):
+        backend.put("alice", "cid-5", b"blob", recipients=["bob"])
+        for stored in backend.observer_views().values():
+            assert stored <= {"cid-5"}
+
+
+class TestLocalBackendOfflineOwner:
+    def test_offline_owner_makes_content_unavailable(self):
+        backend = _local()
+        backend.put("alice", "cid-6", b"only-copy")
+        assert backend.get("bob", "cid-6") == b"only-copy"
+        backend.online["alice"] = False
+        with pytest.raises(StorageError):
+            backend.get("bob", "cid-6")
+
+    def test_owner_back_online_restores_availability(self):
+        backend = _local()
+        backend.put("alice", "cid-7", b"only-copy")
+        backend.online["alice"] = False
+        backend.online["alice"] = True
+        assert backend.get("bob", "cid-7") == b"only-copy"
+
+
+class TestCentralProviderPublicSurface:
+    def test_stored_ids_matches_observer_view(self):
+        provider = CentralProvider()
+        backend = CentralBackend(provider)
+        backend.put("alice", "cid-8", b"x")
+        backend.put("bob", "cid-9", b"y")
+        assert provider.stored_ids() == {"cid-8", "cid-9"}
+        assert backend.observer_views() == {
+            provider.name: {"cid-8", "cid-9"}}
+
+    def test_stored_ids_survives_pretend_delete(self):
+        provider = CentralProvider()
+        provider.store("alice", "cid-10", b"x")
+        provider.delete("cid-10")
+        # data retention: the bytes are still physically there
+        assert provider.stored_ids() == {"cid-10"}

@@ -118,7 +118,8 @@ class TestDosnConfig:
 
     def test_stable_public_surface(self):
         import repro.dosn.api as api
-        assert api.__all__ == ["ARCHITECTURES", "DosnConfig", "DosnNetwork"]
+        assert api.__all__ == ["ARCHITECTURES", "DOSN_SPEC", "DosnConfig",
+                               "DosnNetwork"]
 
 
 class TestRpcFailureCauseMetrics:

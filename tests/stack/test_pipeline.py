@@ -1,0 +1,201 @@
+"""ProtectionStack pipeline semantics: order, filtering, validation."""
+
+import pytest
+
+from repro.acl import SymmetricKeyACL
+from repro.dosn.storage import LocalBackend
+from repro.exceptions import AccessDeniedError, ReproError
+from repro.fabric import Fabric
+from repro.search.index import SearchIndex
+from repro.stack import (AclLayer, ContentItem, IndexLayer, IntegrityLayer,
+                         LayerSpec, PlacementLayer, ProtectionStack,
+                         SystemSpec)
+
+
+def _trace_layer(cls, kind_log, tag):
+    return cls(post=lambda item: kind_log.append(("post", tag)),
+               read=lambda item: kind_log.append(("read", tag)))
+
+
+class TestLayerOrder:
+    def test_post_runs_layers_in_declaration_order(self):
+        log = []
+        stack = ProtectionStack([
+            _trace_layer(IntegrityLayer, log, "integrity"),
+            _trace_layer(AclLayer, log, "acl"),
+            _trace_layer(PlacementLayer, log, "placement"),
+        ])
+        stack.post(ContentItem(author="a"))
+        assert log == [("post", "integrity"), ("post", "acl"),
+                       ("post", "placement")]
+
+    def test_read_runs_layers_reversed(self):
+        log = []
+        stack = ProtectionStack([
+            _trace_layer(IntegrityLayer, log, "integrity"),
+            _trace_layer(AclLayer, log, "acl"),
+            _trace_layer(PlacementLayer, log, "placement"),
+        ])
+        stack.read(ContentItem(author="a"))
+        assert log == [("read", "placement"), ("read", "acl"),
+                       ("read", "integrity")]
+
+    def test_only_filter_restricts_kinds(self):
+        log = []
+        stack = ProtectionStack([
+            _trace_layer(IntegrityLayer, log, "integrity"),
+            _trace_layer(AclLayer, log, "acl"),
+            _trace_layer(PlacementLayer, log, "placement"),
+        ])
+        stack.read(ContentItem(author="a"), only=("placement",))
+        assert log == [("read", "placement")]
+        log.clear()
+        stack.read(ContentItem(author="a"), only=("acl", "integrity"))
+        assert log == [("read", "acl"), ("read", "integrity")]
+
+    def test_missing_hook_is_noop(self):
+        stack = ProtectionStack([IndexLayer(post=None, read=None)])
+        stack.post(ContentItem(author="a"))
+        stack.read(ContentItem(author="a"))
+
+
+class TestSpecValidation:
+    SPEC = SystemSpec(name="toy-spec", layers=(
+        LayerSpec("acl", "sym"), LayerSpec("placement", "dict")))
+
+    def test_matching_spec_accepted(self):
+        stack = ProtectionStack([
+            AclLayer(mechanism="sym"),
+            PlacementLayer(mechanism="dict"),
+        ], spec=self.SPEC)
+        assert stack.name == "toy-spec"
+        assert [l.kind for l in stack.layers] == ["acl", "placement"]
+
+    def test_wrong_order_rejected(self):
+        with pytest.raises(ReproError, match="does not match"):
+            ProtectionStack([
+                PlacementLayer(mechanism="dict"),
+                AclLayer(mechanism="sym"),
+            ], spec=self.SPEC)
+
+    def test_wrong_mechanism_rejected(self):
+        with pytest.raises(ReproError, match="does not match"):
+            ProtectionStack([
+                AclLayer(mechanism="other"),
+                PlacementLayer(mechanism="dict"),
+            ], spec=self.SPEC)
+
+    def test_layer_spec_kind_must_match_layer_class(self):
+        with pytest.raises(ReproError, match="built from"):
+            AclLayer(spec=LayerSpec("placement", "dict"))
+
+    def test_unknown_layer_kind_rejected(self):
+        class WeirdLayer(AclLayer):
+            kind = "weird"
+
+        with pytest.raises(ReproError, match="unknown layer kind"):
+            ProtectionStack([WeirdLayer()])
+
+    def test_layer_lookup_and_capabilities(self):
+        spec = SystemSpec(name="caps", layers=(
+            LayerSpec("acl", "sym", table1_rows=("Symmetric key encryption",)),
+            LayerSpec("placement", "dict")))
+        stack = ProtectionStack([
+            AclLayer(spec=spec.layers[0]),
+            PlacementLayer(spec=spec.layers[1]),
+        ], spec=spec)
+        assert stack.has_layer("acl")
+        assert not stack.has_layer("index")
+        assert stack.layer("acl").mechanism == "sym"
+        with pytest.raises(ReproError):
+            stack.layer("integrity")
+        assert stack.capabilities() == ("Symmetric key encryption",)
+        assert stack.describe()[0] == ("acl", "sym",
+                                       "Symmetric key encryption")
+
+
+class TestAdapters:
+    def test_acl_layer_from_scheme_roundtrip(self):
+        scheme = SymmetricKeyACL()
+        scheme.create_group("friends", ["alice", "bob"])
+        layer = AclLayer.from_scheme(scheme, "friends")
+        stack = ProtectionStack([layer])
+        stack.post(ContentItem(author="alice", cid="c1", payload=b"hi"))
+        item = ContentItem(author="alice", reader="bob", cid="c1")
+        stack.read(item)
+        assert item.payload == b"hi"
+        assert layer.mechanism == scheme.scheme_name
+
+    def test_acl_layer_from_scheme_denies_non_members(self):
+        scheme = SymmetricKeyACL()
+        scheme.create_group("friends", ["alice"])
+        stack = ProtectionStack([AclLayer.from_scheme(scheme, "friends")])
+        stack.post(ContentItem(author="alice", cid="c1", payload=b"hi"))
+        with pytest.raises(AccessDeniedError):
+            stack.read(ContentItem(author="alice", reader="eve", cid="c1"))
+
+    def test_acl_layer_read_requires_reader(self):
+        scheme = SymmetricKeyACL()
+        scheme.create_group("friends", ["alice"])
+        stack = ProtectionStack([AclLayer.from_scheme(scheme, "friends")])
+        stack.post(ContentItem(author="alice", cid="c1", payload=b"hi"))
+        with pytest.raises(AccessDeniedError, match="reader"):
+            stack.read(ContentItem(author="alice", cid="c1"))
+
+    def test_placement_layer_from_backend_roundtrip(self):
+        backend = LocalBackend()
+        stack = ProtectionStack([PlacementLayer.from_backend(backend)])
+        stack.post(ContentItem(author="alice", cid="c1", payload=b"blob"))
+        item = ContentItem(author="alice", reader="bob", cid="c1")
+        stack.read(item)
+        assert item.payload == b"blob"
+
+    def test_index_layer_from_index_posts_only(self):
+        index = SearchIndex()
+        stack = ProtectionStack([IndexLayer.from_index(
+            index, lambda item: item.meta["text"])])
+        stack.post(ContentItem(author="alice", cid="c1",
+                               meta={"text": "hello distributed world"}))
+        assert index.search("distributed") == ["c1"]
+        assert stack.layers[0].mechanism == "plaintext index"
+
+    def test_index_layer_blinded_mechanism_label(self):
+        index = SearchIndex(blinding_secret=b"s")
+        layer = IndexLayer.from_index(index, lambda item: "")
+        assert layer.mechanism == "blinded index"
+
+
+class TestInstrumentation:
+    def test_span_names_emitted_when_configured(self):
+        fabric = Fabric.create(seed=1, tracing=True)
+        stack = ProtectionStack([
+            PlacementLayer(post=lambda item: None,
+                           span_post="storage.put", span_read="storage.get",
+                           span_attrs={"backend": "local"}),
+        ], tracer=fabric.tracer)
+        stack.post(ContentItem(author="a"))
+        assert [s.name for s in fabric.tracer.spans] == ["storage.put"]
+        assert fabric.tracer.spans[0].attrs["backend"] == "local"
+
+    def test_no_spans_by_default(self):
+        fabric = Fabric.create(seed=1, tracing=True)
+        stack = ProtectionStack([PlacementLayer(post=lambda item: None)],
+                                tracer=fabric.tracer)
+        stack.post(ContentItem(author="a"))
+        assert fabric.tracer.spans == []
+
+    def test_metrics_counter_per_layer_op(self):
+        fabric = Fabric.create(seed=1)
+        stack = ProtectionStack([
+            AclLayer(post=lambda item: None, read=lambda item: None),
+            PlacementLayer(post=lambda item: None, read=lambda item: None),
+        ], metrics=fabric.metrics, name="sys")
+        stack.post(ContentItem(author="a"))
+        stack.read(ContentItem(author="a"))
+        stack.read(ContentItem(author="a"), only=("placement",))
+        assert fabric.metrics.get_counter_value(
+            "stack_layer_ops_total", system="sys", layer="acl",
+            op="post") == 1
+        assert fabric.metrics.get_counter_value(
+            "stack_layer_ops_total", system="sys", layer="placement",
+            op="read") == 2
