@@ -53,6 +53,8 @@ from repro.overlay.federation import FederatedNetwork
 from repro.stack import (AclLayer, ContentItem, IndexLayer, IntegrityLayer,
                          LayerSpec, PlacementLayer, ProtectionStack,
                          SystemSpec, register_system)
+from repro.storage2 import (AntiEntropyDaemon, ReplicatedStore,
+                            ReplicationConfig)
 
 ARCHITECTURES = ("central", "dht", "federation", "local")
 
@@ -103,8 +105,12 @@ class DosnConfig:
     encrypt_content: bool = True
     #: cryptographic parameter level (see :mod:`repro.crypto.params`)
     level: str = "TOY"
-    #: replica-set size for the DHT architecture
-    replication: int = 2
+    #: replica-set size for the DHT architecture.  An ``int`` keeps the
+    #: legacy first-responder semantics; a
+    #: :class:`repro.storage2.ReplicationConfig` opts into the verified
+    #: quorum store (W-of-N writes, R-of-N verified reads, and — when its
+    #: ``repair_interval`` is set — the anti-entropy daemon)
+    replication: "int | ReplicationConfig" = 2
     #: pod count for the federation architecture
     federation_pods: int = 4
     #: collect virtual-time spans on the fabric tracer
@@ -160,12 +166,25 @@ class DosnNetwork:
         self.rng = _random.Random(config.seed)
         self._dirty_routing = False
         self.provider: Optional[CentralProvider] = None
+        self.repair_daemon: Optional[AntiEntropyDaemon] = None
         if config.architecture == "central":
             self.provider = CentralProvider()
             self.storage: StorageBackend = CentralBackend(self.provider)
         elif config.architecture == "dht":
-            self.ring = ChordRing(fabric, replication=config.replication)
-            self.storage = DHTBackend(self.ring)
+            rep = config.replication
+            if isinstance(rep, ReplicationConfig):
+                self.ring = ChordRing(fabric, replication=rep.n)
+                quorum = ReplicatedStore(
+                    self.ring, rep, registry=self.registry,
+                    signer_of=lambda name: self.users[name].identity.signer)
+                self.storage = DHTBackend(self.ring, quorum=quorum)
+                if rep.repair_interval is not None:
+                    self.repair_daemon = AntiEntropyDaemon(
+                        quorum, rep.repair_interval)
+                    self.repair_daemon.start()
+            else:
+                self.ring = ChordRing(fabric, replication=rep)
+                self.storage = DHTBackend(self.ring)
         elif config.architecture == "federation":
             self.federation = FederatedNetwork(
                 self.network,

@@ -61,9 +61,15 @@ class DHTBackend(StorageBackend):
     breakers, hedged replica reads) — required for the backend to stay
     available under the E12 fault plans.  The ``channel=`` kwarg is the
     deprecated way of wiring the same thing.
+
+    Passing ``quorum=`` (a :class:`repro.storage2.ReplicatedStore` over
+    the same ring) upgrades the backend to verified quorum semantics:
+    puts seal signed version records and need W acks, gets verify every
+    response and return the newest verified version's payload.  The
+    legacy path is untouched when ``quorum`` is ``None``.
     """
 
-    def __init__(self, ring: ChordRing, channel=None) -> None:
+    def __init__(self, ring: ChordRing, channel=None, quorum=None) -> None:
         self.ring = ring
         if channel is not None:
             import warnings
@@ -74,17 +80,25 @@ class DHTBackend(StorageBackend):
                 "into the ring's Fabric (Fabric.create(resilient=True))",
                 ReproDeprecationWarning, stacklevel=2)
             self.ring.channel = channel
-        #: cid -> the replica set chosen at put time
-        self.placements: Dict[str, List[str]] = {}
+        self.quorum = quorum
+        #: cid -> the replica set chosen at put time; with a quorum store
+        #: this aliases its placement map, so repair re-placements show up
+        self.placements: Dict[str, List[str]] = (
+            quorum.placements if quorum is not None else {})
 
     def put(self, author: str, cid: str, blob: bytes,
             recipients: Sequence[str] = ()) -> None:
         if author not in self.ring.nodes:
             raise StorageError(f"author {author!r} is not a ring member")
+        if self.quorum is not None:
+            self.quorum.put(author, cid, blob)
+            return
         self.ring.put(author, cid, blob)
         self.placements[cid] = self.ring.replica_set(cid)
 
     def get(self, reader: str, cid: str) -> bytes:
+        if self.quorum is not None:
+            return self.quorum.get(reader, cid).payload
         value, _ = self.ring.get(reader, cid)
         return value
 

@@ -37,6 +37,16 @@ class IntegrityError(ReproError):
     """
 
 
+class ReplicaIntegrityError(IntegrityError):
+    """Replica holders were reachable but none served a valid copy.
+
+    Distinct from :class:`StorageError` (nobody reachable / id unknown):
+    here the data *was* served, and every served copy failed verification
+    — the Byzantine-holder case, which callers may want to alarm on
+    rather than retry.
+    """
+
+
 class AccessDeniedError(ReproError):
     """An access-control policy denied an operation (Section III)."""
 
@@ -59,6 +69,10 @@ class LookupError_(OverlayError):
 
 class StorageError(OverlayError):
     """Stored content could not be retrieved (offline replicas, missing id)."""
+
+
+class QuorumWriteError(StorageError):
+    """A replicated write gathered fewer acks than the write quorum W."""
 
 
 class SimulationError(ReproError):

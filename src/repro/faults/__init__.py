@@ -11,18 +11,26 @@ trade-off measurable instead of assumed:
   and scriptable over virtual time;
 * :mod:`repro.faults.resilience` — :class:`ReliableChannel`, the
   timeout/retry/backoff/circuit-breaker/hedging wrapper the DHT lookups
-  and storage fetches route through to survive the injected faults.
+  and storage fetches route through to survive the injected faults;
+* :mod:`repro.faults.byzantine` — holder-level Byzantine faults
+  (:class:`StaleServe`, :class:`Equivocate`, :class:`CorruptBlob`):
+  replica peers that serve stale, forked, or garbled data, the adversary
+  the quorum-read store (:mod:`repro.storage2`) is built to defeat.
 
 Experiment E12 (``benchmarks/bench_fault_tolerance.py``) sweeps fault
-intensity against resilience policy using both halves.
+intensity against resilience policy; E14
+(``benchmarks/bench_durability.py``) adds the Byzantine holder sweep.
 """
 
+from repro.faults.byzantine import (CorruptBlob, Equivocate, HolderFault,
+                                    StaleServe)
 from repro.faults.plan import (Corruption, Crash, FaultPlan, LossBurst,
                                Partition, SlowLink)
 from repro.faults.resilience import (CircuitBreaker, ReliableChannel,
                                      RetryPolicy)
 
 __all__ = [
-    "CircuitBreaker", "Corruption", "Crash", "FaultPlan", "LossBurst",
-    "Partition", "ReliableChannel", "RetryPolicy", "SlowLink",
+    "CircuitBreaker", "CorruptBlob", "Corruption", "Crash", "Equivocate",
+    "FaultPlan", "HolderFault", "LossBurst", "Partition", "ReliableChannel",
+    "RetryPolicy", "SlowLink", "StaleServe",
 ]

@@ -1,0 +1,166 @@
+"""Byzantine *replica holder* faults: peers that lie about stored data.
+
+The paper's core security observation — "the replica nodes are indeed
+another kind of service provider in a small scale and with a local view"
+— cuts both ways: a replica holder is not just an observer but a serving
+party, and a malicious or broken one can serve garbage.  The PR-1 fault
+primitives (:mod:`repro.faults.plan`) attack the *links*; these attack
+the *holders*:
+
+================  ============================================================
+:class:`StaleServe`   the holder pins to the oldest version it ever stored
+                      and serves that forever (a frozen or rolled-back disk)
+:class:`Equivocate`   the holder serves *different* historical versions to
+                      different readers (the small-provider equivocation
+                      attack, per-reader deterministic)
+:class:`CorruptBlob`  the holder garbles the served bytes with probability
+                      ``rate`` (bit rot, truncation, deliberate tampering)
+================  ============================================================
+
+All three are pure functions of ``(plan seed, holder, key, reader)`` —
+same seed, same lies — matching the determinism contract of the link
+faults.  They cannot forge *valid* records: versions are sealed with the
+writer's signature (:mod:`repro.storage2.record`), so a Byzantine holder
+is limited to replaying old versions or serving invalid bytes, exactly
+the adversary model quorum reads with per-response verification defeat.
+
+The faults are injected into a :class:`~repro.faults.plan.FaultPlan` like
+any other primitive; the storage layer consults
+:meth:`FaultPlan.holder_faults` at serve time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Sequence
+
+from repro.exceptions import SimulationError
+
+
+def _holder_draw(seed: int, index: int, label: str, holder: str, key: str,
+                 reader: str) -> float:
+    """A deterministic uniform draw in [0, 1) for one (holder, key, reader)."""
+    digest = hashlib.sha256(
+        f"repro/faults/byz/{seed}/{index}/{label}/{holder}/{key}/{reader}"
+        .encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass
+class HolderFault:
+    """Base class: a misbehaviour of named replica holders over a window.
+
+    ``keys`` optionally scopes the lie to specific stored objects — a
+    targeted attack on one object's replica set.  Replica placements
+    overlap (ring successors hold many adjacent keys), so an unscoped
+    fault makes the holder lie about *everything* it serves; scoped
+    faults keep an injected "1 Byzantine holder per key" experiment
+    design from silently compounding across co-located keys.
+    """
+
+    holders: FrozenSet[str] = frozenset()
+    start: float = 0.0
+    end: float = math.inf
+    keys: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.holders:
+            raise SimulationError(
+                "a holder fault needs at least one named holder")
+        self.holders = frozenset(self.holders)
+        if self.keys is not None:
+            self.keys = frozenset(self.keys)
+        self._seed = 0
+        self._index = 0
+
+    def bind(self, seed: int, index: int, horizon: float) -> None:
+        """Capture the plan seed so per-serve draws are deterministic."""
+        self._seed = seed
+        self._index = index
+
+    def active(self, holder: str, t: float) -> bool:
+        """Whether this fault drives ``holder``'s behaviour at time ``t``."""
+        return holder in self.holders and self.start <= t < self.end
+
+    def applies_to(self, key: str) -> bool:
+        """Whether the lie covers ``key`` (unscoped faults cover all)."""
+        return self.keys is None or key in self.keys
+
+
+@dataclass
+class StaleServe(HolderFault):
+    """The holder serves the *oldest* version it ever stored for a key.
+
+    Updates land (the holder acks writes, keeping its lie invisible to the
+    write quorum) but reads are answered from the first version — the
+    rolled-back-disk / frozen-cache failure mode.  The served record is a
+    genuinely signed old version, so only version comparison across a
+    read quorum exposes it.
+    """
+
+    def pick_version(self, holder: str, key: str, reader: str,
+                     history_len: int) -> int:
+        """Index into the holder's version history to serve (the oldest)."""
+        return 0
+
+
+@dataclass
+class Equivocate(HolderFault):
+    """The holder shows different readers different historical versions.
+
+    The per-reader choice is a deterministic draw over the holder's full
+    version history, so two readers comparing notes (or one read quorum)
+    see conflicting-but-individually-valid answers — the equivocation
+    attack fork-consistency machinery exists for, here at replica scale.
+    """
+
+    def pick_version(self, holder: str, key: str, reader: str,
+                     history_len: int) -> int:
+        """Reader-dependent index into the holder's version history."""
+        if history_len <= 1:
+            return 0
+        u = _holder_draw(self._seed, self._index, "equivocate", holder, key,
+                         reader)
+        return int(u * history_len) % history_len
+
+
+@dataclass
+class CorruptBlob(HolderFault):
+    """The holder garbles served bytes with probability ``rate``.
+
+    Corruption happens at the *holder* (disk/bug/malice), not on the link
+    — :class:`repro.faults.plan.Corruption` already covers the wire.  The
+    draw is per ``(holder, key, reader)``, so a given reader repeatably
+    gets a bad copy from a given holder while another reader may not.
+    """
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.rate <= 1.0:
+            raise SimulationError("corruption rate must be in [0, 1]")
+
+    def garbles(self, holder: str, key: str, reader: str) -> bool:
+        """Whether this serve is corrupted (deterministic from the seed)."""
+        return _holder_draw(self._seed, self._index, "corrupt", holder, key,
+                            reader) < self.rate
+
+    @staticmethod
+    def garble(blob: bytes) -> bytes:
+        """Deterministically damage a blob (xor a byte, drop the tail)."""
+        if not blob:
+            return b"\xff"
+        cut = max(1, len(blob) - len(blob) // 8)
+        damaged = bytearray(blob[:cut])
+        damaged[len(damaged) // 2] ^= 0xFF
+        return bytes(damaged)
+
+
+def active_holder_faults(faults: Iterable[object], holder: str,
+                         t: float) -> Sequence[HolderFault]:
+    """The holder faults driving ``holder`` at ``t``, in plan order."""
+    return [f for f in faults
+            if isinstance(f, HolderFault) and f.active(holder, t)]

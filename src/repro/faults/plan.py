@@ -304,3 +304,13 @@ class FaultPlan:
             if isinstance(fault, Corruption):
                 keep *= 1.0 - fault.corruption_rate(src, dst, t)
         return 1.0 - keep
+
+    def holder_faults(self, holder: str, t: float):
+        """Byzantine holder faults driving ``holder`` at ``t`` (plan order).
+
+        Link faults attack the wire; these attack the serving peer itself
+        (:mod:`repro.faults.byzantine`).  The replicated store consults
+        this at serve time to decide whether a holder lies.
+        """
+        from repro.faults.byzantine import active_holder_faults
+        return active_holder_faults(self.faults, holder, t)

@@ -91,8 +91,10 @@ class FederatedNetwork:
                 cross += 1
                 remote = self.servers[r_home]
                 if content_id not in remote.content:
-                    remote.content[content_id] = (author, payload)
                     stored.append(r_home)
+                # Overwrites federate too: a re-post must replace the
+                # remote copy, or remote readers are pinned to version 1.
+                remote.content[content_id] = (author, payload)
                 remote.observed_edges.add((author, recipient))
         return FederatedDelivery(content_id=content_id,
                                  servers_stored=stored,

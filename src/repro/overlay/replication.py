@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
-from repro.exceptions import OverlayError
+from repro.exceptions import OverlayError, ReplicaIntegrityError
 
 
 @dataclass
@@ -81,20 +81,59 @@ def place_by_uptime(owner: str, peers: Sequence[str], count: int,
 
 
 def fetch_from_holders(channel, reader: str, placement: Placement,
-                       kind: str = "replica_fetch"
+                       kind: str = "replica_fetch",
+                       blob_of: Optional[Callable[[str],
+                                                  Optional[bytes]]] = None,
+                       verify: Optional[Callable[[str, bytes],
+                                                 bool]] = None
                        ) -> Tuple[Optional[str], float]:
     """Hedged fetch against a placement's holders via a ReliableChannel.
 
-    The first reachable holder (owner first, then replicas) serves the
-    read; returns ``(holder, elapsed)`` with ``holder=None`` when every
-    holder is unreachable.  This is the availability claim made
-    operational: replication only helps if the *fetch path* fails over —
-    E12 drives storage reads through this instead of assuming any online
-    replica is reachable.
+    Holders are probed owner first, then replicas; returns
+    ``(holder, elapsed)`` with ``holder=None`` when every holder is
+    unreachable.  This is the availability claim made operational:
+    replication only helps if the *fetch path* fails over — E12 drives
+    storage reads through this instead of assuming any online replica is
+    reachable.
+
+    Replica holders are "another kind of service provider" (the paper's
+    phrase), so a reachable holder is not necessarily an *honest* one.
+    Pass ``blob_of`` (holder -> the bytes it would serve, ``None`` if it
+    holds nothing) and ``verify`` (holder, blob -> bool, e.g. an envelope
+    or hash-chain check) and each response is verified before it wins:
+    holders serving invalid bytes are skipped, and when at least one
+    holder answered but *no* response verified the fetch raises
+    :class:`~repro.exceptions.ReplicaIntegrityError` instead of handing
+    back tampered content.  Without ``blob_of`` the legacy first-responder
+    hedge is used unchanged.
     """
-    ok, winner, elapsed = channel.hedged(reader, placement.holders,
-                                         kind=kind)
-    return (winner if ok else None), elapsed
+    if blob_of is None:
+        ok, winner, elapsed = channel.hedged(reader, placement.holders,
+                                             kind=kind)
+        return (winner if ok else None), elapsed
+    stats = channel.network.stats
+    elapsed = 0.0
+    probed = 0
+    served = 0
+    for holder in placement.holders:
+        blob = blob_of(holder)
+        if blob is None:
+            continue  # holds nothing — not worth a probe
+        if probed > 0:
+            stats.hedges += 1
+        probed += 1
+        ok, rtt = channel.call(reader, holder, kind=kind)
+        elapsed += rtt
+        if not ok:
+            continue
+        served += 1
+        if verify is None or verify(holder, blob):
+            return holder, elapsed
+    if served > 0:
+        raise ReplicaIntegrityError(
+            f"{served} holder(s) answered {reader!r} but no response "
+            "passed verification")
+    return None, elapsed
 
 
 def measure_availability(placement: Placement, churn_model,

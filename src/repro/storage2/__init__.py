@@ -1,0 +1,33 @@
+"""Self-healing replicated storage: quorum reads/writes + anti-entropy.
+
+The paper's replicas are "another kind of service provider in a small
+scale" — so this package stops trusting them.  Content is stored as
+signed, hash-chained :class:`~repro.storage2.record.StoredVersion`
+records; writes require a ``W``-of-``N`` ack quorum and reads verify
+every response, accept the newest verified version from an ``R``-of-``N``
+quorum, and repair stale holders in the read path
+(:mod:`repro.storage2.quorum`).  An
+:class:`~repro.storage2.repair.AntiEntropyDaemon` driven by the simulator
+clock exchanges Merkle summaries between holders, pulls missing/stale
+items, and re-places replicas when churn drops live replication below
+target.
+
+Opt in through :class:`~repro.dosn.api.DosnConfig`::
+
+    DosnConfig(architecture="dht",
+               replication=ReplicationConfig(n=3, r=2, w=2,
+                                             repair_interval=600.0))
+
+Experiment E14 (``benchmarks/bench_durability.py``) sweeps churn and
+Byzantine holder fraction over bare / quorum / quorum+repair reads.
+"""
+
+from repro.storage2.config import ReplicationConfig
+from repro.storage2.quorum import ReadResult, ReplicatedStore
+from repro.storage2.record import GENESIS, StoredVersion, seal_version
+from repro.storage2.repair import AntiEntropyDaemon
+
+__all__ = [
+    "AntiEntropyDaemon", "GENESIS", "ReadResult", "ReplicatedStore",
+    "ReplicationConfig", "StoredVersion", "seal_version",
+]

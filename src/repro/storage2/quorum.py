@@ -1,0 +1,310 @@
+"""The quorum-replicated store: W-of-N writes, verified R-of-N reads.
+
+Where :meth:`ChordRing.get` trusts the first replica that answers, the
+:class:`ReplicatedStore` treats every holder as a potential liar
+(:mod:`repro.faults.byzantine`): each response is decoded and checked
+against the author's signature before it counts toward the read quorum,
+the newest verified version wins, and holders caught serving older state
+are repaired in the read path.  Every probe, store, and repair push is an
+accounted RPC on the simulated fabric, so E14's availability numbers pay
+for the quorum traffic they claim.
+
+Detection counters (via ``fabric.metrics`` / :mod:`repro.obs`):
+
+* ``storage.byzantine_rejects`` — responses that failed verification
+* ``storage.read_repairs``      — holder copies fixed by the read path
+* ``storage.quorum_writes``     — write attempts (acks on the span)
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import (CryptoError, IntegrityError, LookupError_,
+                              QuorumWriteError, ReplicaIntegrityError,
+                              StorageError)
+from repro.faults.byzantine import CorruptBlob, Equivocate, StaleServe
+from repro.storage2.config import ReplicationConfig
+from repro.storage2.record import GENESIS, StoredVersion, seal_version
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one verified quorum read."""
+
+    payload: bytes
+    version: int
+    author: str
+    holder: str          # who served the winning (newest verified) copy
+    verified: int        # responses that passed verification
+    rejected: int        # responses that failed verification
+    repaired: int        # holder copies fixed by read-repair
+
+
+class ReplicatedStore:
+    """Verified quorum reads/writes over a Chord ring's replica sets.
+
+    ``registry``/``signer_of`` wire the store into an existing identity
+    world (:class:`DosnNetwork` passes its key registry and a callback to
+    its users' signers); standalone uses (benchmarks, tests) omit both
+    and the store mints TOY identities on first write, registering their
+    public halves itself.
+    """
+
+    def __init__(self, ring, config: Optional[ReplicationConfig] = None,
+                 registry=None,
+                 signer_of: Optional[Callable[[str], object]] = None) -> None:
+        # Deferred: repro.dosn.api imports this package, so pulling
+        # repro.dosn.identity at module scope would be a cycle.
+        from repro.dosn.identity import KeyRegistry
+        self.ring = ring
+        self.config = config or ReplicationConfig()
+        self.fabric = ring.fabric
+        self.network = ring.network
+        self.sim = self.fabric.sim
+        self.metrics = self.network.metrics
+        self.registry = registry if registry is not None else KeyRegistry()
+        self._signer_of = signer_of
+        self._local_identities: Dict[str, object] = {}
+        self._rng: Optional[_random.Random] = None
+        #: key -> current replica holders (repair may re-place these)
+        self.placements: Dict[str, List[str]] = {}
+        #: writer-side chain state: latest version number / record hash
+        self._versions: Dict[str, int] = {}
+        self._prev_hash: Dict[str, bytes] = {}
+        #: (holder, key) -> every encoded record the holder ever accepted,
+        #: oldest first — the material Byzantine holders replay from
+        self._history: Dict[Tuple[str, str], List[bytes]] = {}
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def rng(self) -> _random.Random:
+        """Store-scoped RNG, split lazily so legacy streams never move."""
+        if self._rng is None:
+            self._rng = self.sim.split_rng("storage2")
+        return self._rng
+
+    def _signer(self, author: str):
+        from repro.dosn.identity import create_identity
+        if self._signer_of is not None:
+            return self._signer_of(author)
+        identity = self._local_identities.get(author)
+        if identity is None:
+            identity = create_identity(author, rng=self.rng)
+            self._local_identities[author] = identity
+            self.registry.register(identity)
+        return identity.signer
+
+    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
+        if self.ring.channel is not None:
+            return self.ring.channel.call(src, dst, kind=kind)
+        return self.network.rpc(src, dst, kind=kind)
+
+    def holders_of(self, key: str) -> List[str]:
+        """The current replica holders (placement, else the ring's set)."""
+        placed = self.placements.get(key)
+        if placed is not None:
+            return list(placed)
+        return self.ring.replica_set(key)[:self.config.n]
+
+    def latest_version(self, key: str) -> int:
+        """The writer-side view of the newest version (0 = never written)."""
+        return self._versions.get(key, 0)
+
+    def store_at(self, holder: str, key: str, encoded: bytes) -> bool:
+        """Accept a record at a holder; returns whether bytes changed.
+
+        Keeps the holder's replay history consistent with its store: a
+        key missing from ``node.store`` means a crash wiped the state, so
+        the history restarts — a restarted holder cannot replay versions
+        it no longer has.
+        """
+        node = self.ring.nodes.get(holder)
+        if node is None:
+            return False
+        if key not in node.store:
+            self._history[(holder, key)] = []
+        changed = node.store.get(key) != encoded
+        node.store[key] = encoded
+        if changed:
+            self._history.setdefault((holder, key), []).append(encoded)
+        return changed
+
+    def serve(self, holder: str, reader: str, key: str) -> bytes:
+        """What ``holder`` answers ``reader`` with — honest or Byzantine.
+
+        Active holder faults (plan order) rewrite the response: stale/
+        equivocating holders replay from their accepted-record history,
+        corrupting holders garble the bytes.  Deterministic per
+        ``(plan seed, holder, key, reader)``.
+        """
+        node = self.ring.nodes[holder]
+        blob = node.store[key]
+        if self.network.faults is None:
+            return blob
+        history = self._history.get((holder, key), [])
+        for fault in self.network.faults.holder_faults(holder, self.sim.now):
+            if not fault.applies_to(key):
+                continue
+            if isinstance(fault, (StaleServe, Equivocate)) and history:
+                index = fault.pick_version(holder, key, reader, len(history))
+                blob = history[index]
+            elif isinstance(fault, CorruptBlob) \
+                    and fault.garbles(holder, key, reader):
+                blob = CorruptBlob.garble(blob)
+        return blob
+
+    def _verify(self, key: str, blob: bytes) -> StoredVersion:
+        """Decode + authenticate one served response (or raise)."""
+        record = StoredVersion.decode(blob)
+        if record.key != key:
+            raise IntegrityError(
+                f"record is for {record.key!r}, not {key!r}")
+        verify_key = self.registry.get(record.author).verify_key
+        if not record.verify(verify_key):
+            raise IntegrityError("record signature does not verify")
+        return record
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, author: str, key: str, payload: bytes) -> StoredVersion:
+        """Seal the next version and store it on the replica set.
+
+        Routes to the owner (accounted lookup), pushes the record to every
+        holder, and requires ``W`` acks; fewer raises
+        :class:`QuorumWriteError` and leaves the writer's chain state
+        unchanged, so a retry re-seals the same version number.
+        """
+        with self.network.tracer.span("storage2.put", key=key,
+                                      author=author) as span:
+            holders = self.holders_of(key)
+            try:
+                coordinator = self.ring.lookup(author, key).owner
+            except LookupError_:
+                coordinator = author  # routing down: push directly
+            version = self._versions.get(key, 0) + 1
+            record = seal_version(
+                self._signer(author), key, version,
+                self._prev_hash.get(key, GENESIS), author, payload,
+                rng=self.rng)
+            encoded = record.encode()
+            acks = 0
+            for holder in holders:
+                if holder == coordinator:
+                    node = self.ring.nodes.get(holder)
+                    if node is not None and node.online:
+                        self.store_at(holder, key, encoded)
+                        acks += 1
+                    continue
+                ok, _ = self._rpc(coordinator, holder, "quorum_store")
+                if ok:
+                    self.store_at(holder, key, encoded)
+                    acks += 1
+            span.set_attr("version", version)
+            span.set_attr("acks", acks)
+            self.metrics.inc("storage.quorum_writes")
+            if acks < self.config.w:
+                raise QuorumWriteError(
+                    f"write of {key!r} v{version} got {acks} acks, "
+                    f"needs W={self.config.w}")
+            self._versions[key] = version
+            self._prev_hash[key] = record.record_hash()
+            self.placements[key] = list(holders)
+            return record
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, reader: str, key: str) -> ReadResult:
+        """Verified quorum read: newest of >= R verified responses wins.
+
+        Every holder is probed (an accounted RPC each; extra probes count
+        as hedges like the ring's replica reads); responses failing
+        verification are rejected and counted, never returned.  Verified
+        holders serving an older version get the winner pushed back
+        (read-repair).  Raises :class:`ReplicaIntegrityError` when data
+        was served but nothing verified, :class:`StorageError` when the
+        quorum is short.
+        """
+        with self.network.tracer.span("storage2.get", key=key,
+                                      reader=reader) as span:
+            responses: List[Tuple[str, Optional[StoredVersion]]] = []
+            rejected = 0
+            probed = 0
+            for holder in self.holders_of(key):
+                node = self.ring.nodes.get(holder)
+                if node is None or key not in node.store:
+                    continue  # crashed holders lost the key with their state
+                if probed > 0:
+                    self.network.stats.hedges += 1
+                probed += 1
+                ok, _ = self._rpc(reader, holder, "quorum_read")
+                if not ok:
+                    continue
+                try:
+                    record = self._verify(key, self.serve(holder, reader,
+                                                          key))
+                except (IntegrityError, CryptoError):
+                    rejected += 1
+                    self.metrics.inc("storage.byzantine_rejects")
+                    responses.append((holder, None))
+                    continue
+                responses.append((holder, record))
+            verified = [(h, r) for h, r in responses if r is not None]
+            span.set_attr("verified", len(verified))
+            span.set_attr("rejected", rejected)
+            if not verified:
+                if rejected:
+                    raise ReplicaIntegrityError(
+                        f"no holder served a valid copy of {key!r} "
+                        f"({rejected} responses rejected)")
+                raise StorageError(
+                    f"key {key!r} unavailable: no reachable replica "
+                    "holds it")
+            if len(verified) < self.config.r:
+                raise StorageError(
+                    f"read quorum for {key!r} not met: {len(verified)} "
+                    f"verified responses, needs R={self.config.r}")
+            best_holder, best = max(
+                verified,
+                key=lambda pair: (pair[1].version, pair[1].record_hash()))
+            repaired = 0
+            if self.config.read_repair:
+                encoded = best.encode()
+                for holder, record in responses:
+                    if record is not None and record.version >= best.version:
+                        continue
+                    ok, _ = self._rpc(reader, holder, "read_repair")
+                    if ok and self.store_at(holder, key, encoded):
+                        repaired += 1
+                        self.metrics.inc("storage.read_repairs")
+            span.set_attr("version", best.version)
+            span.set_attr("repaired", repaired)
+            return ReadResult(
+                payload=best.payload, version=best.version,
+                author=best.author, holder=best_holder,
+                verified=len(verified), rejected=rejected,
+                repaired=repaired)
+
+    def read_any(self, reader: str, key: str) -> bytes:
+        """The *bare* read path: trust the first holder that answers.
+
+        Returns whatever bytes the holder serves — stale, forked, or
+        garbled included.  This is the pre-quorum behaviour kept as E14's
+        baseline; nothing in the repo should use it for correctness.
+        """
+        probed = 0
+        for holder in self.holders_of(key):
+            node = self.ring.nodes.get(holder)
+            if node is None or key not in node.store:
+                continue
+            if probed > 0:
+                self.network.stats.hedges += 1
+            probed += 1
+            ok, _ = self._rpc(reader, holder, "replica_fetch")
+            if ok:
+                return self.serve(holder, reader, key)
+        raise StorageError(
+            f"key {key!r} unavailable: no reachable replica holds it")

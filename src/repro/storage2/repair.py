@@ -1,0 +1,177 @@
+"""Anti-entropy: periodic Merkle-summary sync and churn re-placement.
+
+Read-repair only fixes holders a read happens to touch; the daemon closes
+the rest of the gap.  On every tick of the simulator clock it
+
+1. groups keys by replica set and has the live holders compare Merkle
+   roots over their stored records (one accounted RPC per pair, reusing
+   :mod:`repro.crypto.merkle`); mismatching pairs reconcile per key, the
+   newest *verified* record winning (``storage.repair_pulls``);
+2. re-places replicas whose holders churned away: when fewer than ``n``
+   live holders still hold a verified copy, the next online ring
+   successors receive the newest record and the placement is updated
+   (``storage.re_replications``) — LibreSocial's availability-maintenance
+   loop, driven here by virtual time so two runs repair identically.
+
+Data loss is still possible — if every holder of a key is offline at
+repair time there is nothing to copy from — which is exactly the
+durability edge E14 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import digest, digest_many
+from repro.crypto.merkle import MerkleTree
+from repro.exceptions import CryptoError, IntegrityError, SimulationError
+from repro.storage2.quorum import ReplicatedStore
+from repro.storage2.record import StoredVersion
+
+
+class AntiEntropyDaemon:
+    """Periodic repair over a :class:`ReplicatedStore`'s placements."""
+
+    def __init__(self, store: ReplicatedStore, interval: float) -> None:
+        if interval <= 0:
+            raise SimulationError("repair interval must be positive")
+        self.store = store
+        self.interval = interval
+        self.rounds = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Schedule the recurring repair tick on the simulator clock."""
+        if self._started:
+            return
+        self._started = True
+        self.store.sim.schedule(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        self.run_round()
+        self.store.sim.schedule(self.interval, self._tick)
+
+    # -- one repair round --------------------------------------------------------
+
+    def run_round(self) -> None:
+        """Sync all replica groups, then re-place under-replicated keys."""
+        store = self.store
+        self.rounds += 1
+        store.metrics.inc("storage.repair_rounds")
+        with store.network.tracer.span("storage2.repair",
+                                       round=self.rounds):
+            groups: Dict[Tuple[str, ...], List[str]] = {}
+            for key in sorted(store.placements):
+                groups.setdefault(tuple(store.placements[key]),
+                                  []).append(key)
+            for holders, keys in sorted(groups.items()):
+                live = [h for h in holders
+                        if store.network.is_online(h)]
+                if len(live) < 2:
+                    continue  # nobody to compare notes with
+                coordinator = live[0]
+                local_root = self._summary_root(coordinator, keys)
+                for peer in live[1:]:
+                    ok, _ = store._rpc(coordinator, peer,
+                                       "antientropy_root")
+                    if not ok:
+                        continue
+                    if self._summary_root(peer, keys) == local_root:
+                        continue
+                    self._sync_pair(coordinator, peer, keys)
+            for key in sorted(store.placements):
+                self._re_replicate(key)
+
+    def _stored(self, holder: str, key: str) -> Optional[bytes]:
+        node = self.store.ring.nodes.get(holder)
+        if node is None:
+            return None
+        return node.store.get(key)
+
+    def _summary_root(self, holder: str, keys: List[str]) -> bytes:
+        """Merkle root over the holder's records for a key group."""
+        tree = MerkleTree()
+        for key in keys:
+            blob = self._stored(holder, key)
+            tree.append(digest_many(
+                [key.encode(), digest(blob) if blob is not None else b""]))
+        return tree.root()
+
+    def _best_record(self, holders: List[str], key: str
+                     ) -> Optional[Tuple[str, StoredVersion]]:
+        """The newest *verified* copy among the given holders."""
+        best: Optional[Tuple[str, StoredVersion]] = None
+        for holder in holders:
+            blob = self._stored(holder, key)
+            if blob is None:
+                continue
+            try:
+                record = self.store._verify(key, blob)
+            except (IntegrityError, CryptoError):
+                continue  # a poisoned at-rest copy never propagates
+            if best is None or (record.version, record.record_hash()) \
+                    > (best[1].version, best[1].record_hash()):
+                best = (holder, record)
+        return best
+
+    def _sync_pair(self, a: str, b: str, keys: List[str]) -> None:
+        """Reconcile two live holders whose summaries disagree."""
+        store = self.store
+        for key in keys:
+            blob_a = self._stored(a, key)
+            blob_b = self._stored(b, key)
+            if blob_a == blob_b:
+                continue
+            best = self._best_record([a, b], key)
+            if best is None:
+                continue
+            source, record = best
+            encoded = record.encode()
+            for target in (a, b):
+                if target == source \
+                        or self._stored(target, key) == encoded:
+                    continue
+                ok, _ = store._rpc(source, target, "antientropy_pull")
+                if ok and store.store_at(target, key, encoded):
+                    store.metrics.inc("storage.repair_pulls")
+
+    def _re_replicate(self, key: str) -> None:
+        """Restore ``n`` live verified holders after churn departures."""
+        store = self.store
+        target = store.config.n
+        placed = store.placements[key]
+        live = [h for h in placed
+                if store.network.is_online(h)
+                and self._stored(h, key) is not None]
+        if len(live) >= target:
+            return
+        best = self._best_record(live, key)
+        if best is None:
+            return  # every live copy is gone or invalid: nothing to clone
+        source, record = best
+        encoded = record.encode()
+        new_placement = list(live)
+        for candidate in self._candidates(key):
+            if len(new_placement) >= target:
+                break
+            if candidate in placed or candidate in new_placement:
+                continue
+            ok, _ = store._rpc(source, candidate, "re_replicate")
+            if ok and store.store_at(candidate, key, encoded):
+                new_placement.append(candidate)
+                store.metrics.inc("storage.re_replications")
+        # Offline ex-holders drop out of the placement (their copies
+        # linger as exposure, but reads and repair stop counting on them).
+        if len(new_placement) > len(live):
+            store.placements[key] = new_placement
+
+    def _candidates(self, key: str) -> List[str]:
+        """Online peers in ring order starting after the key's owner."""
+        from repro.overlay.chord import chord_id
+        ring = self.store.ring
+        ordered = sorted(ring.nodes.values(), key=lambda n: n.chord_id)
+        ids = [node.chord_id for node in ordered]
+        start = ring._successor_index(ids, chord_id(key))
+        rotated = ordered[start:] + ordered[:start]
+        return [node.node_id for node in rotated
+                if self.store.network.is_online(node.node_id)]

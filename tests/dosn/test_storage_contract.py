@@ -16,6 +16,7 @@ from repro.exceptions import ReproError, StorageError
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
+from repro.storage2 import ReplicatedStore, ReplicationConfig
 
 USERS = ["alice", "bob", "carol"]
 
@@ -33,6 +34,16 @@ def _dht():
     return DHTBackend(ring)
 
 
+def _dht_quorum():
+    fabric = Fabric.create(seed=7)
+    ring = ChordRing(fabric, replication=3)
+    for name in USERS:
+        ring.add_node(name)
+    ring.build()
+    quorum = ReplicatedStore(ring, ReplicationConfig(n=3, r=2, w=2))
+    return DHTBackend(ring, quorum=quorum)
+
+
 def _federation():
     fabric = Fabric.create(seed=7)
     federation = FederatedNetwork(fabric.network, ["pod0", "pod1"])
@@ -48,6 +59,7 @@ def _local():
 BACKENDS = {
     "central": _central,
     "dht": _dht,
+    "dht_quorum": _dht_quorum,
     "federation": _federation,
     "local": _local,
 }
@@ -82,6 +94,54 @@ class TestStorageBackendContract:
         backend.put("alice", "cid-5", b"blob", recipients=["bob"])
         for stored in backend.observer_views().values():
             assert stored <= {"cid-5"}
+
+    def test_overwrite_returns_newest_version(self, backend):
+        """Two puts under one cid: every reader sees the second payload."""
+        backend.put("alice", "cid-v", b"version-1", recipients=["bob"])
+        backend.put("alice", "cid-v", b"version-2", recipients=["bob"])
+        for reader in USERS:
+            assert backend.get(reader, "cid-v") == b"version-2"
+
+    def test_overwrite_is_repeatable(self, backend):
+        """Overwriting N times always lands on the last payload."""
+        for i in range(4):
+            backend.put("alice", "cid-w", f"rev-{i}".encode(),
+                        recipients=["bob"])
+        assert backend.get("bob", "cid-w") == b"rev-3"
+
+
+class TestDHTReplicaObserverViews:
+    """Satellite guard: E8 exposure must charge *all* replica holders.
+
+    A cid put on a replicated ring is physically stored at every member
+    of its replica set, so each of those peers is an observer of the
+    ciphertext — attributing it only to the primary successor would
+    undercount the "many small providers" exposure the paper warns about.
+    """
+
+    @pytest.mark.parametrize("factory", [_dht, _dht_quorum],
+                             ids=["legacy", "quorum"])
+    def test_all_replica_holders_observe_the_cid(self, factory):
+        backend = factory()
+        backend.put("alice", "cid-r", b"blob", recipients=["bob"])
+        views = backend.observer_views()
+        holders = backend.placements["cid-r"]
+        assert len(holders) >= 2, "replicated put must pick several holders"
+        for holder in holders:
+            assert "cid-r" in views[holder], (
+                f"replica holder {holder!r} stores cid-r but the observer "
+                "view does not attribute it")
+
+    def test_quorum_overwrite_updates_every_holder_copy(self):
+        backend = _dht_quorum()
+        backend.put("alice", "cid-s", b"old", recipients=[])
+        backend.put("alice", "cid-s", b"new", recipients=[])
+        quorum = backend.quorum
+        stored = {holder: quorum.ring.nodes[holder].store["cid-s"]
+                  for holder in backend.placements["cid-s"]}
+        versions = {holder: quorum._verify("cid-s", blob).version
+                    for holder, blob in stored.items()}
+        assert set(versions.values()) == {2}
 
 
 class TestLocalBackendOfflineOwner:

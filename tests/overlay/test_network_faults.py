@@ -306,6 +306,135 @@ class TestReliableChannel:
         assert holder is None
 
 
+class TestVerifiedFetchFromHolders:
+    """Satellite: the fetch path must stop trusting the first blob."""
+
+    def _setup(self, blobs):
+        sim, net, *_ = _net(peers=("owner", "r1", "r2", "reader"))
+        channel = ReliableChannel(net, RetryPolicy(max_attempts=1))
+        placement = Placement(owner="owner", replicas=["r1", "r2"])
+        return net, channel, placement, blobs.get
+
+    def test_invalid_first_response_is_skipped(self):
+        net, channel, placement, blob_of = self._setup(
+            {"owner": b"garbled", "r1": b"good", "r2": b"good"})
+        holder, _ = fetch_from_holders(
+            channel, "reader", placement, blob_of=blob_of,
+            verify=lambda h, blob: blob == b"good")
+        assert holder == "r1"  # the owner answered, but did not verify
+
+    def test_holders_without_the_blob_cost_no_probe(self):
+        net, channel, placement, blob_of = self._setup(
+            {"r2": b"good"})
+        before = net.stats.messages
+        holder, _ = fetch_from_holders(
+            channel, "reader", placement, blob_of=blob_of,
+            verify=lambda h, blob: True)
+        assert holder == "r2"
+        assert net.stats.messages == before + 2  # one RPC round trip
+
+    def test_all_served_copies_invalid_raises(self):
+        from repro.exceptions import ReplicaIntegrityError
+        net, channel, placement, blob_of = self._setup(
+            {"owner": b"bad", "r1": b"bad", "r2": b"bad"})
+        with pytest.raises(ReplicaIntegrityError):
+            fetch_from_holders(
+                channel, "reader", placement, blob_of=blob_of,
+                verify=lambda h, blob: False)
+
+    def test_unreachable_holders_still_return_none(self):
+        net, channel, placement, blob_of = self._setup(
+            {"owner": b"good", "r1": b"good", "r2": b"good"})
+        for peer in ("owner", "r1", "r2"):
+            net.node(peer).go_offline()
+        holder, _ = fetch_from_holders(
+            channel, "reader", placement, blob_of=blob_of,
+            verify=lambda h, blob: True)
+        assert holder is None  # unreachable != tampered: no raise
+
+    def test_without_blob_of_the_legacy_hedge_is_used(self):
+        net, channel, placement, _ = self._setup({})
+        net.node("owner").go_offline()
+        holder, _ = fetch_from_holders(channel, "reader", placement)
+        assert holder == "r1"
+
+
+class TestByzantineHolderFaults:
+    """The holder-level fault family: windows, determinism, plan query."""
+
+    def test_holder_faults_filters_by_holder_and_window(self):
+        from repro.faults import StaleServe
+        plan = FaultPlan(seed=5).add(
+            StaleServe(holders={"p1"}, start=10.0, end=20.0))
+        sim = Simulator(seed=5)
+        net = SimNetwork(sim, latency=FixedLatency(0.05))
+        net.install_faults(plan)
+        assert not plan.holder_faults("p1", 5.0)
+        assert len(plan.holder_faults("p1", 15.0)) == 1
+        assert not plan.holder_faults("p1", 20.0)
+        assert not plan.holder_faults("p2", 15.0)
+
+    def test_empty_holder_set_rejected(self):
+        from repro.faults import CorruptBlob
+        with pytest.raises(SimulationError):
+            CorruptBlob(holders=frozenset())
+
+    def test_key_scoped_fault_spares_co_located_keys(self):
+        """A liar targeting one object serves its other keys honestly.
+
+        Replica placements overlap, so without scoping a per-key fault
+        assignment silently compounds across every key the holder serves.
+        """
+        from repro.faults import StaleServe
+        scoped = StaleServe(holders={"p1"}, keys={"k1"})
+        assert scoped.applies_to("k1")
+        assert not scoped.applies_to("k2")
+        unscoped = StaleServe(holders={"p1"})
+        assert unscoped.applies_to("k1") and unscoped.applies_to("k2")
+
+    def test_corrupt_blob_rate_validated(self):
+        from repro.faults import CorruptBlob
+        with pytest.raises(SimulationError):
+            CorruptBlob(holders={"p1"}, rate=1.5)
+
+    def test_corruption_draws_are_seed_deterministic(self):
+        from repro.faults import CorruptBlob
+
+        def draws(seed):
+            fault = CorruptBlob(holders={"p1"}, rate=0.5)
+            fault.bind(seed, 0, 100.0)
+            return [fault.garbles("p1", f"k{i}", "reader")
+                    for i in range(32)]
+
+        assert draws(3) == draws(3)
+        assert draws(3) != draws(4)
+        assert any(draws(3)) and not all(draws(3))  # rate=0.5 mixes
+
+    def test_garble_changes_bytes(self):
+        from repro.faults import CorruptBlob
+        blob = b"x" * 64
+        assert CorruptBlob.garble(blob) != blob
+        assert CorruptBlob.garble(b"") != b""
+
+    def test_equivocate_is_per_reader_deterministic(self):
+        from repro.faults import Equivocate
+        fault = Equivocate(holders={"p1"})
+        fault.bind(7, 0, 100.0)
+        picks = {reader: fault.pick_version("p1", "k", reader, 10)
+                 for reader in (f"u{i}" for i in range(12))}
+        again = {reader: fault.pick_version("p1", "k", reader, 10)
+                 for reader in (f"u{i}" for i in range(12))}
+        assert picks == again
+        assert len(set(picks.values())) > 1  # different readers fork
+
+    def test_stale_serve_always_picks_the_oldest(self):
+        from repro.faults import StaleServe
+        fault = StaleServe(holders={"p1"})
+        fault.bind(7, 0, 100.0)
+        assert all(fault.pick_version("p1", "k", f"u{i}", 5) == 0
+                   for i in range(8))
+
+
 class TestResilientChord:
     def _ring(self, resilient, partitioned):
         from repro.fabric import Fabric

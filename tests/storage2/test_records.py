@@ -1,0 +1,83 @@
+"""StoredVersion records: sealing, chaining, tamper evidence."""
+
+import random
+
+import pytest
+
+from repro.dosn.identity import create_identity
+from repro.exceptions import IntegrityError
+from repro.storage2.record import GENESIS, StoredVersion, seal_version
+
+
+@pytest.fixture(scope="module")
+def identity():
+    return create_identity("alice", rng=random.Random(42))
+
+
+def _seal(identity, version=1, previous=GENESIS, payload=b"hello"):
+    return seal_version(identity.signer, "cid-1", version, previous,
+                        "alice", payload, rng=random.Random(7))
+
+
+class TestSealVerify:
+    def test_roundtrip_verifies(self, identity):
+        record = _seal(identity)
+        assert record.verify(identity.verify_key)
+        decoded = StoredVersion.decode(record.encode())
+        assert decoded == record
+        assert decoded.verify(identity.verify_key)
+
+    def test_payload_tamper_breaks_signature(self, identity):
+        record = _seal(identity)
+        forged = StoredVersion(
+            key=record.key, version=record.version,
+            previous=record.previous, author=record.author,
+            payload=b"evil", signature=record.signature)
+        assert not forged.verify(identity.verify_key)
+
+    def test_version_tamper_breaks_signature(self, identity):
+        record = _seal(identity)
+        forged = StoredVersion(
+            key=record.key, version=record.version + 1,
+            previous=record.previous, author=record.author,
+            payload=record.payload, signature=record.signature)
+        assert not forged.verify(identity.verify_key)
+
+    def test_wrong_author_key_rejects(self, identity):
+        record = _seal(identity)
+        other = create_identity("mallory", rng=random.Random(13))
+        assert not record.verify(other.verify_key)
+
+
+class TestChaining:
+    def test_record_hash_covers_the_signature(self, identity):
+        r1 = seal_version(identity.signer, "cid-1", 1, GENESIS, "alice",
+                          b"x", rng=random.Random(1))
+        r2 = seal_version(identity.signer, "cid-1", 1, GENESIS, "alice",
+                          b"x", rng=random.Random(2))
+        assert r1.signed_bytes() == r2.signed_bytes()
+        assert r1.record_hash() != r2.record_hash()  # different nonces
+
+    def test_chain_links_through_previous(self, identity):
+        r1 = _seal(identity)
+        r2 = seal_version(identity.signer, "cid-1", 2, r1.record_hash(),
+                          "alice", b"v2", rng=random.Random(8))
+        assert r2.previous == r1.record_hash()
+        assert r2.verify(identity.verify_key)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("blob", [
+        b"", b"not json", b"\xff\xfe\x00", b"{}",
+        b'{"author":"a","key":"k","payload":"zz","previous":"00",'
+        b'"signature":[1,2],"version":1}',
+    ])
+    def test_garbage_raises_integrity_error(self, blob):
+        with pytest.raises(IntegrityError):
+            StoredVersion.decode(blob)
+
+    def test_nonpositive_version_rejected(self, identity):
+        record = _seal(identity, version=1)
+        bad = record.encode().replace(b'"version":1', b'"version":0')
+        with pytest.raises(IntegrityError):
+            StoredVersion.decode(bad)
