@@ -48,6 +48,7 @@ from repro.dosn.user import DosnUser
 from repro.dosn.identity import KeyRegistry
 from repro.exceptions import OverlayError, ReproDeprecationWarning
 from repro.fabric import Fabric
+from repro.membership import MembershipConfig, SwimMembership
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
 from repro.stack import (AclLayer, ContentItem, IndexLayer, IntegrityLayer,
@@ -121,12 +122,21 @@ class DosnConfig:
     resilient: bool = False
     #: index posts into a blinded :class:`~repro.search.index.SearchIndex`
     index_posts: bool = False
+    #: run a SWIM-style failure detector (:mod:`repro.membership`) and use
+    #: it — instead of the churn oracle — as the liveness source for
+    #: routing, the resilient channel, and the anti-entropy daemon.
+    #: DHT architecture only; ``None`` keeps the legacy oracle paths.
+    membership: Optional[MembershipConfig] = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
             raise OverlayError(
                 f"unknown architecture {self.architecture!r}; "
                 f"pick from {ARCHITECTURES}")
+        if self.membership is not None and self.architecture != "dht":
+            raise OverlayError(
+                "membership requires the dht architecture (the detector "
+                "rides on overlay peers)")
 
     def with_overrides(self, **changes) -> "DosnConfig":
         """A copy with some fields replaced (sweep helper)."""
@@ -167,10 +177,15 @@ class DosnNetwork:
         self._dirty_routing = False
         self.provider: Optional[CentralProvider] = None
         self.repair_daemon: Optional[AntiEntropyDaemon] = None
+        self.membership: Optional[SwimMembership] = None
         if config.architecture == "central":
             self.provider = CentralProvider()
             self.storage: StorageBackend = CentralBackend(self.provider)
         elif config.architecture == "dht":
+            if config.membership is not None:
+                # Built before the store/daemon so both auto-discover it
+                # from the fabric as their liveness source.
+                self.membership = SwimMembership(fabric, config.membership)
             rep = config.replication
             if isinstance(rep, ReplicationConfig):
                 self.ring = ChordRing(fabric, replication=rep.n)
@@ -301,6 +316,8 @@ class DosnNetwork:
         self.graph.add_node(name)
         if self.architecture == "dht":
             self.ring.add_node(name)
+            if self.membership is not None:
+                self.membership.register(name)
             self._dirty_routing = True
         elif self.architecture == "federation":
             self.federation.register_user(name)
@@ -327,6 +344,9 @@ class DosnNetwork:
         if self.architecture == "dht" and self._dirty_routing:
             self.ring.build()
             self._dirty_routing = False
+            if self.membership is not None \
+                    and len(self.membership.views) >= 2:
+                self.membership.start()
 
     # -- the social operations ----------------------------------------------------
 

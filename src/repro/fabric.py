@@ -64,6 +64,9 @@ class Fabric:
         # Keep the network's view consistent with the fabric's.
         network.tracer = self.tracer
         network.metrics = self.metrics
+        #: the attached :class:`repro.membership.SwimMembership` (None
+        #: keeps every layer on the legacy oracle path, byte-identical)
+        self.membership: Optional[Any] = None
         self._rng = rng
 
     @classmethod
@@ -92,6 +95,20 @@ class Fabric:
             channel = ReliableChannel(network, retry, breaker)
         return cls(sim, network, channel=channel, tracer=tracer,
                    metrics=metrics)
+
+    def attach_membership(self, membership: Any) -> None:
+        """Install a membership service as the fabric's liveness source.
+
+        Called by ``SwimMembership.__init__``; the channel (and, through
+        ``fabric.membership``, the overlays and the repair daemon) pick
+        it up from here.
+        """
+        if self.membership is not None:
+            raise SimulationError(
+                "a membership service is already attached to this fabric")
+        self.membership = membership
+        if self.channel is not None:
+            self.channel.membership = membership
 
     @property
     def rng(self) -> _random.Random:

@@ -26,11 +26,11 @@ from repro.faults.byzantine import (CorruptBlob, Equivocate, HolderFault,
                                     StaleServe)
 from repro.faults.plan import (Corruption, Crash, FaultPlan, LossBurst,
                                Partition, SlowLink)
-from repro.faults.resilience import (CircuitBreaker, ReliableChannel,
-                                     RetryPolicy)
+from repro.faults.resilience import (BREAKER_STATE_VALUES, CircuitBreaker,
+                                     ReliableChannel, RetryPolicy)
 
 __all__ = [
-    "CircuitBreaker", "CorruptBlob", "Corruption", "Crash", "Equivocate",
-    "FaultPlan", "HolderFault", "LossBurst", "Partition", "ReliableChannel",
-    "RetryPolicy", "SlowLink", "StaleServe",
+    "BREAKER_STATE_VALUES", "CircuitBreaker", "CorruptBlob", "Corruption",
+    "Crash", "Equivocate", "FaultPlan", "HolderFault", "LossBurst",
+    "Partition", "ReliableChannel", "RetryPolicy", "SlowLink", "StaleServe",
 ]

@@ -99,6 +99,19 @@ class CircuitBreaker:
             return True
         return False
 
+    def state(self, dst: str, now: float) -> str:
+        """``closed`` / ``open`` / ``half_open`` for ``dst`` at ``now``."""
+        opened = self._opened_at.get(dst)
+        if opened is None:
+            return "closed"
+        if now - opened >= self.cooldown:
+            return "half_open"
+        return "open"
+
+
+#: Gauge encoding of breaker states (``channel.breaker_state{dst=...}``).
+BREAKER_STATE_VALUES = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
 
 class ReliableChannel:
     """Timeout/retry/breaker/hedging wrapper over a :class:`SimNetwork`.
@@ -113,7 +126,25 @@ class ReliableChannel:
         self.network = network
         self.policy = policy or RetryPolicy()
         self.breaker = breaker
+        #: the fabric's :class:`repro.membership.SwimMembership`, set by
+        #: :meth:`repro.fabric.Fabric.attach_membership`.  When the
+        #: *source* of a call has a membership view, that view replaces
+        #: the fixed breaker thresholds: confirmed-dead destinations
+        #: fail fast, suspicious ones get a single attempt, and the
+        #: breaker is neither consulted nor updated for the call.
+        self.membership = None
         self._rng = network.sim.split_rng("reliable-channel")
+
+    def _view_of(self, src: str):
+        if self.membership is None:
+            return None
+        return self.membership.view_of(src)
+
+    def _export_breaker_state(self, dst: str) -> None:
+        """Publish the breaker's view of ``dst`` as a labelled gauge."""
+        state = self.breaker.state(dst, self.network.sim.now)
+        self.network.metrics.gauge("channel.breaker_state", dst=dst).set(
+            BREAKER_STATE_VALUES[state])
 
     def call(self, src: str, dst: str, kind: str = "rpc",
              payload_size: int = 64) -> Tuple[bool, float]:
@@ -124,6 +155,13 @@ class ReliableChannel:
         logical call is one ``channel.call`` span whose children are the
         per-attempt ``net.rpc`` spans; backoff waits are charged to the
         channel span itself.
+
+        With a membership view for ``src`` the liveness policy is
+        adaptive instead of threshold-based: a destination the view has
+        confirmed dead fails fast (``membership_fastfail``), one whose
+        phi exceeds the suspect level gets a single attempt (retries are
+        for peers believed alive), and a successful call feeds back into
+        the view as proof of life.
         """
         stats = self.network.stats
         with self.network.tracer.span("channel.call", kind=kind, src=src,
@@ -131,11 +169,24 @@ class ReliableChannel:
             elapsed = 0.0
             attempts = 0
             outcome = "exhausted"
-            for attempt in range(self.policy.max_attempts):
+            max_attempts = self.policy.max_attempts
+            view = self._view_of(src)
+            if view is not None:
+                if view.is_dead(dst):
+                    stats.breaker_fastfails += 1
+                    self.network.metrics.inc("channel.membership_fastfails",
+                                             kind=kind)
+                    span.set_attr("attempts", 0)
+                    span.set_attr("outcome", "membership_fastfail")
+                    return (False, 0.0)
+                if view.suspicious(dst, self.network.sim.now):
+                    max_attempts = 1
+            for attempt in range(max_attempts):
                 now = self.network.sim.now
-                if self.breaker is not None \
+                if view is None and self.breaker is not None \
                         and not self.breaker.allow(dst, now):
                     stats.breaker_fastfails += 1
+                    self._export_breaker_state(dst)
                     outcome = "breaker_fastfail"
                     break
                 attempts += 1
@@ -143,15 +194,19 @@ class ReliableChannel:
                                            payload_size=payload_size)
                 elapsed += rtt
                 if ok:
-                    if self.breaker is not None:
+                    if view is not None:
+                        view.observe_contact(dst, now)
+                    elif self.breaker is not None:
                         self.breaker.record_success(dst)
+                        self._export_breaker_state(dst)
                     span.set_attr("attempts", attempts)
                     span.set_attr("outcome", "ok")
                     return (True, elapsed)
-                if self.breaker is not None \
-                        and self.breaker.record_failure(dst, now):
-                    stats.breaker_trips += 1
-                if attempt + 1 < self.policy.max_attempts:
+                if view is None and self.breaker is not None:
+                    if self.breaker.record_failure(dst, now):
+                        stats.breaker_trips += 1
+                    self._export_breaker_state(dst)
+                if attempt + 1 < max_attempts:
                     stats.retries += 1
                     backoff = self.policy.backoff(attempt, self._rng)
                     elapsed += backoff
@@ -166,29 +221,42 @@ class ReliableChannel:
 
         Each candidate gets one attempt (the hedge replaces the retry);
         returns ``(ok, winner, elapsed)``.
+
+        With a membership view for ``src`` the candidates are reordered
+        by health score first — healthy holders are probed before
+        suspects, confirmed-dead ones last (still probed: on this
+        last-resort path a false confirmation must not lose the read).
         """
         stats = self.network.stats
         with self.network.tracer.span("channel.hedged", kind=kind,
                                       src=src) as span:
+            view = self._view_of(src)
+            if view is not None:
+                dsts = self.membership.order_by_health(src, dsts)
             elapsed = 0.0
             for i, dst in enumerate(dsts):
                 if i > 0:
                     stats.hedges += 1
                 now = self.network.sim.now
-                if self.breaker is not None \
+                if view is None and self.breaker is not None \
                         and not self.breaker.allow(dst, now):
                     stats.breaker_fastfails += 1
+                    self._export_breaker_state(dst)
                     continue
                 ok, rtt = self.network.rpc(src, dst, kind=kind,
                                            payload_size=payload_size)
                 elapsed += rtt
                 if ok:
-                    if self.breaker is not None:
+                    if view is not None:
+                        view.observe_contact(dst, now)
+                    elif self.breaker is not None:
                         self.breaker.record_success(dst)
+                        self._export_breaker_state(dst)
                     span.set_attr("winner", dst)
                     return (True, dst, elapsed)
-                if self.breaker is not None \
-                        and self.breaker.record_failure(dst, now):
-                    stats.breaker_trips += 1
+                if view is None and self.breaker is not None:
+                    if self.breaker.record_failure(dst, now):
+                        stats.breaker_trips += 1
+                    self._export_breaker_state(dst)
             span.set_attr("winner", None)
             return (False, None, elapsed)

@@ -1,0 +1,580 @@
+"""SWIM-style gossip membership with phi-accrual failure detection.
+
+Das et al.'s SWIM, run deterministically on the simulator clock: every
+protocol period each live member direct-pings one randomized round-robin
+target; on failure it asks ``k`` proxies to ping the target for it
+(ping-req); when the indirect chains also fail the target is marked
+**suspect** and the suspicion disseminates epidemically, piggybacked on
+subsequent probe traffic with per-update retransmission budgets and SWIM
+incarnation numbers (a suspected member refutes by bumping its own
+incarnation).  Unlike stock SWIM's fixed suspicion timeout, the
+suspect -> **dead** confirmation is driven by a per-peer phi-accrual
+estimator (:mod:`repro.membership.phi`) fed by every piece of liveness
+evidence — direct acks, relayed indirect acks, and piggybacked alive
+heartbeats carrying their observation timestamps (the Cassandra
+gossip + accrual combination) — so the confirm timeout adapts to the
+observed contact rate and loss of each pair.
+
+Everything each member "knows" lives in its :class:`MemberView`; the
+protocol only moves information via accounted RPCs on the simulated
+network, so detection latency, false positives, and message cost (E15)
+are paid for honestly.  The one deliberate exception is
+:meth:`SwimMembership.confirmed_dead`, the *administrative* union of
+per-member confirmations used by the repair daemon — justified because
+confirmations gossip cluster-wide within a few periods, and flagged in
+``docs/membership.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import random as _random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import OverlayError, SimulationError
+from repro.membership.config import MembershipConfig
+from repro.membership.phi import PhiEstimator
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+@dataclass
+class _Update:
+    """One piggybacked membership rumor."""
+
+    peer: str
+    state: str          # ALIVE / SUSPECT / DEAD
+    incarnation: int
+    heard_at: float     # when the originator last had evidence of peer
+    budget: int         # remaining piggyback transmissions
+
+
+@dataclass
+class ConfirmEvent:
+    """One observer confirming one peer dead (E15's ground-truth log).
+
+    ``actually_online`` peeks at the node's real state purely for
+    experiment scoring (false-positive rate); the protocol never reads
+    it.
+    """
+
+    observer: str
+    peer: str
+    at: float
+    silence: float       # seconds since the observer's last evidence
+    bound: float         # the adaptive confirm bound at that moment
+    phi: float
+    actually_online: bool
+
+
+class MemberRecord:
+    """One peer as seen by one member."""
+
+    __slots__ = ("state", "incarnation", "estimator", "suspected_at")
+
+    def __init__(self, estimator: PhiEstimator) -> None:
+        self.state = ALIVE
+        self.incarnation = 0
+        self.estimator = estimator
+        self.suspected_at: Optional[float] = None
+
+
+class MemberView:
+    """Everything one member believes about the cluster."""
+
+    def __init__(self, owner: str, membership: "SwimMembership",
+                 now: float) -> None:
+        self.owner = owner
+        self.membership = membership
+        self.config = membership.config
+        self.self_incarnation = 0
+        self.records: Dict[str, MemberRecord] = {}
+        self.queue: List[_Update] = []
+        #: last tick at which the owner was up (stale-clock detection)
+        self.last_active = now
+
+    # -- read API (what routing and the channel consume) ----------------------
+
+    def status(self, peer: str) -> str:
+        """ALIVE / SUSPECT / DEAD (unknown peers read as alive)."""
+        record = self.records.get(peer)
+        return record.state if record is not None else ALIVE
+
+    def is_dead(self, peer: str) -> bool:
+        return self.status(peer) == DEAD
+
+    def is_suspect(self, peer: str) -> bool:
+        return self.status(peer) == SUSPECT
+
+    def phi(self, peer: str, now: float) -> float:
+        """Current suspicion level for ``peer``."""
+        record = self.records.get(peer)
+        if record is None:
+            return 0.0
+        return record.estimator.phi(now)
+
+    def suspicious(self, peer: str, now: float) -> bool:
+        """Whether the channel should deprioritize ``peer``."""
+        record = self.records.get(peer)
+        if record is None:
+            return False
+        return record.state != ALIVE \
+            or record.estimator.phi(now) >= self.config.suspect_phi
+
+    def health(self, peer: str, now: float) -> float:
+        """A [0, 1] routing score: 1 fresh evidence, 0 confirmed dead."""
+        record = self.records.get(peer)
+        if record is None:
+            return 1.0
+        if record.state == DEAD:
+            return 0.0
+        score = max(0.0, 1.0 - record.estimator.phi(now)
+                    / self.config.confirm_phi)
+        if record.state == SUSPECT:
+            score *= 0.5
+        return score
+
+    def dead_peers(self) -> List[str]:
+        """Peers this view has confirmed dead (registration order)."""
+        return [peer for peer, record in self.records.items()
+                if record.state == DEAD]
+
+    def confirm_bound(self, peer: str) -> float:
+        """Silence (seconds) at which ``peer`` would be confirmed dead."""
+        record = self.records.get(peer)
+        if record is None:
+            raise OverlayError(f"{self.owner!r} has no record of {peer!r}")
+        return record.estimator.silence_bound(self.config.confirm_phi)
+
+    # -- state transitions -----------------------------------------------------
+
+    def add_peer(self, peer: str, now: float) -> None:
+        if peer == self.owner or peer in self.records:
+            return
+        config = self.config
+        self.records[peer] = MemberRecord(PhiEstimator(
+            config.window, config.initial_interval, config.min_interval,
+            now))
+
+    def direct_evidence(self, peer: str, incarnation: int,
+                        now: float) -> None:
+        """First-hand proof of life: an ack from (or relayed for) ``peer``.
+
+        Direct contact trumps gossip: it revives suspects without an
+        incarnation bump (Lifeguard-style local refutation) and rejoins
+        peers this view had buried.  A rejoin also pushes the peer's own
+        incarnation past the buried record (via :meth:`SwimMembership.
+        _revived`) so the revival can win in every *other* view, where
+        DEAD is final until a strictly higher incarnation.
+        """
+        record = self.records.get(peer)
+        if record is None:
+            return
+        buried_as = record.incarnation if record.state == DEAD else None
+        record.estimator.evidence(now)
+        if incarnation > record.incarnation:
+            record.incarnation = incarnation
+        if record.state == DEAD:
+            record.state = ALIVE
+            record.suspected_at = None
+            self.membership._revived(self.owner, peer, buried_as, now)
+        elif record.state == SUSPECT:
+            record.state = ALIVE
+            record.suspected_at = None
+
+    def observe_contact(self, peer: str, now: float) -> None:
+        """Application-level proof of life (a successful channel call).
+
+        Lifeguard-style: any acked RPC is as good as a probe ack, so the
+        hot path keeps phi low for the peers it actually talks to.
+        """
+        record = self.records.get(peer)
+        if record is not None:
+            self.direct_evidence(peer, record.incarnation, now)
+
+    def resume(self, now: float) -> None:
+        """The owner was away: restart every silence clock.
+
+        Silence accumulated while *we* were offline says nothing about
+        the peers, so phi must not charge them for it.
+        """
+        for record in self.records.values():
+            record.estimator.restart(now)
+
+    # -- piggyback dissemination ----------------------------------------------
+
+    def enqueue(self, peer: str, state: str, incarnation: int,
+                heard_at: float) -> None:
+        cap = max(32, 4 * self.config.piggyback_limit)
+        self.queue.append(_Update(peer, state, incarnation, heard_at,
+                                  self.membership.gossip_budget()))
+        if len(self.queue) > cap:
+            del self.queue[:len(self.queue) - cap]
+
+    def take_piggyback(self) -> List[_Update]:
+        """Up to ``piggyback_limit`` updates to send with one contact."""
+        batch = self.queue[:self.config.piggyback_limit]
+        del self.queue[:len(batch)]
+        keep = []
+        for update in batch:
+            update.budget -= 1
+            if update.budget > 0:
+                keep.append(update)
+        self.queue.extend(keep)  # rotate: fresh rumors go first next time
+        return batch
+
+    def receive(self, update: _Update, now: float) -> None:
+        """Apply one piggybacked rumor (SWIM merge rules); re-gossip news."""
+        membership = self.membership
+        metrics = membership.metrics
+        if update.peer == self.owner:
+            # Someone is spreading doubt about us: refute by overriding
+            # the rumored incarnation with a fresher self.
+            if update.state in (SUSPECT, DEAD) \
+                    and update.incarnation >= self.self_incarnation:
+                self.self_incarnation = update.incarnation + 1
+                self.enqueue(self.owner, ALIVE, self.self_incarnation, now)
+                metrics.inc("membership.refutations")
+            return
+        record = self.records.get(update.peer)
+        if record is None:
+            return
+        news = False
+        if update.state == ALIVE:
+            if update.incarnation > record.incarnation:
+                if record.state == DEAD:
+                    self.membership._revived(self.owner, update.peer)
+                record.state = ALIVE
+                record.suspected_at = None
+                record.incarnation = update.incarnation
+                news = True
+            if record.state != DEAD \
+                    and record.estimator.evidence(update.heard_at):
+                news = True
+        elif update.state == SUSPECT:
+            if record.state == DEAD:
+                return
+            if update.incarnation > record.incarnation or (
+                    update.incarnation == record.incarnation
+                    and record.state == ALIVE):
+                if record.state != SUSPECT:
+                    record.suspected_at = now
+                    metrics.inc("membership.suspicions", source="gossip")
+                record.state = SUSPECT
+                record.incarnation = update.incarnation
+                news = True
+        else:  # DEAD is final until a higher incarnation revives the peer
+            if record.state != DEAD:
+                record.state = DEAD
+                record.incarnation = max(record.incarnation,
+                                         update.incarnation)
+                record.suspected_at = None
+                membership._confirmed(self.owner, update.peer, now,
+                                      record, via_gossip=True)
+                news = True
+        if news:
+            self.enqueue(update.peer, update.state, update.incarnation,
+                         update.heard_at)
+
+
+class SwimMembership:
+    """The cluster-wide protocol driver (one instance per fabric).
+
+    Construction attaches the service to the fabric
+    (``fabric.membership``), which is how the channel, the overlays, and
+    the repair daemon discover it.  Nothing runs until :meth:`start`;
+    the RNG is split from the simulator only here, so fabrics without
+    membership keep their random streams byte-identical.
+    """
+
+    def __init__(self, fabric, config: Optional[MembershipConfig] = None,
+                 members: Sequence[str] = ()) -> None:
+        self.fabric = fabric
+        self.config = config or MembershipConfig()
+        self.network = fabric.network
+        self.sim = fabric.sim
+        self.metrics = fabric.metrics
+        self.tracer = fabric.tracer
+        self._rng: _random.Random = self.sim.split_rng("membership")
+        self.views: Dict[str, MemberView] = {}
+        self._members: List[str] = []
+        self._rotation: Dict[str, List[str]] = {}
+        self._rotation_index: Dict[str, int] = {}
+        #: administrative union of confirmations (see module docstring)
+        self._dead: Set[str] = set()
+        self.confirm_log: List[ConfirmEvent] = []
+        self._confirm_callbacks: List[Callable[[str, float], None]] = []
+        self._started = False
+        self._ticks = 0
+        fabric.attach_membership(self)
+
+    # -- membership roster -----------------------------------------------------
+
+    def register(self, name: str) -> MemberView:
+        """Enroll a member; it probes and is probed from the next tick."""
+        if name in self.views:
+            raise OverlayError(f"member {name!r} already registered")
+        now = self.sim.now
+        view = MemberView(name, self, now)
+        for other in self._members:
+            view.add_peer(other, now)
+            self.views[other].add_peer(name, now)
+        self.views[name] = view
+        self._members.append(name)
+        return view
+
+    def view_of(self, name: str) -> Optional[MemberView]:
+        """The member's view, or None for non-members (legacy callers)."""
+        return self.views.get(name)
+
+    def gossip_budget(self) -> int:
+        """Retransmissions granted to each new rumor."""
+        n = max(2, len(self._members))
+        return max(1, math.ceil(
+            self.config.gossip_budget_factor * math.log2(n + 1)))
+
+    # -- administrative / consumer API ----------------------------------------
+
+    def confirmed_dead(self, peer: str) -> bool:
+        """Whether *any* view currently holds ``peer`` confirmed dead."""
+        return peer in self._dead
+
+    def alive_members(self) -> List[str]:
+        """Members not administratively confirmed dead."""
+        return [m for m in self._members if m not in self._dead]
+
+    def on_confirm(self, callback: Callable[[str, float], None]) -> None:
+        """Subscribe to cluster-first death confirmations.
+
+        ``callback(peer, now)`` fires once per death (not once per
+        observer); the repair daemon uses it to re-replicate promptly.
+        """
+        self._confirm_callbacks.append(callback)
+
+    def false_positive_stats(self) -> Tuple[int, int]:
+        """(false confirms, total confirms) from the ground-truth log."""
+        false = sum(1 for event in self.confirm_log
+                    if event.actually_online)
+        return false, len(self.confirm_log)
+
+    # -- the protocol loop -----------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the recurring probe tick (idempotent)."""
+        if self._started:
+            return
+        if len(self._members) < 2:
+            raise SimulationError(
+                "membership needs at least two registered members")
+        self._started = True
+        self.sim.schedule(self.config.protocol_period, self._tick)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        period = self.config.protocol_period
+        self._ticks += 1
+        reclaim_turn = self._ticks % self.config.reclaim_every == 0
+        with self.tracer.span("membership.tick"):
+            for name in self._members:
+                if not self.network.is_online(name):
+                    continue
+                view = self.views[name]
+                if now - view.last_active > 1.5 * period:
+                    view.resume(now)  # we were away; peers owe us nothing
+                view.last_active = now
+                self._probe_round(name, now)
+                if reclaim_turn:
+                    self._reclaim_probe(name, now)
+            for name in self._members:
+                if self.network.is_online(name):
+                    self._sweep_confirms(self.views[name], now)
+        self.sim.schedule(period, self._tick)
+
+    def _next_target(self, member: str) -> Optional[str]:
+        """Randomized round-robin target selection (SWIM section 4.3)."""
+        order = self._rotation.get(member)
+        index = self._rotation_index.get(member, 0)
+        if order is None or index >= len(order):
+            order = [m for m in self._members if m != member]
+            self._rng.shuffle(order)
+            self._rotation[member] = order
+            index = 0
+        view = self.views[member]
+        while index < len(order):
+            target = order[index]
+            index += 1
+            if target in self.views[member].records \
+                    and not view.is_dead(target):
+                self._rotation_index[member] = index
+                return target
+        self._rotation_index[member] = index
+        return None
+
+    def _probe_round(self, member: str, now: float) -> None:
+        target = self._next_target(member)
+        if target is None:
+            return
+        self.metrics.inc("membership.pings")
+        ok, _ = self.network.rpc(member, target, kind="swim_ping")
+        if ok:
+            self._contact(member, target, now)
+            return
+        if self._indirect_probe(member, target, now):
+            return
+        self._suspect(member, target, now)
+
+    def _reclaim_probe(self, member: str, now: float) -> None:
+        """Ping one confirmed-dead peer ("gossip to the dead").
+
+        Confirmed peers drop out of the probe rotation, so after a
+        partition heals — both halves having buried each other — nobody
+        would ever initiate contact across the old cut.  A low-rate
+        probe of the graveyard rediscovers such peers; a successful
+        contact revives the record and makes the peer outbid its burial
+        incarnation (see :meth:`_revived`), which revives it everywhere.
+        """
+        view = self.views[member]
+        dead = view.dead_peers()
+        if not dead:
+            return
+        target = dead[self._rng.randrange(len(dead))]
+        self.metrics.inc("membership.reclaim_pings")
+        ok, _ = self.network.rpc(member, target, kind="swim_ping")
+        if ok:
+            self._contact(member, target, now)
+
+    def _indirect_probe(self, member: str, target: str,
+                        now: float) -> bool:
+        """ping-req via k proxies; True when any chain reached the target.
+
+        Each chain is two accounted RPCs (member->proxy carrying the
+        request + response, proxy->target carrying the ping + ack): four
+        messages, exactly SWIM's ping-req/ping/ack/ack cost.
+        """
+        view = self.views[member]
+        candidates = [m for m in self._members
+                      if m not in (member, target)
+                      and not view.is_dead(m)]
+        k = min(self.config.k_indirect, len(candidates))
+        if k == 0:
+            return False
+        proxies = self._rng.sample(candidates, k)
+        reached = False
+        for proxy in proxies:
+            self.metrics.inc("membership.indirect_chains")
+            ok, _ = self.network.rpc(member, proxy, kind="swim_pingreq")
+            if not ok:
+                continue
+            self._contact(member, proxy, now)
+            if not self.network.is_online(proxy):
+                continue  # the proxy answered the request but then left
+            ok, _ = self.network.rpc(proxy, target, kind="swim_ping")
+            if not ok:
+                continue
+            reached = True
+            # The proxy heard the target; its relayed ack is first-hand
+            # evidence for the proxy and relayed evidence for the member.
+            target_inc = self.views[target].self_incarnation
+            proxy_view = self.views[proxy]
+            proxy_view.direct_evidence(target, target_inc, now)
+            proxy_view.enqueue(target, ALIVE, target_inc, now)
+            view.direct_evidence(target, target_inc, now)
+            view.enqueue(target, ALIVE, target_inc, now)
+        return reached
+
+    def _contact(self, a: str, b: str, now: float) -> None:
+        """A successful direct exchange: evidence + piggyback both ways."""
+        view_a, view_b = self.views[a], self.views[b]
+        view_a.direct_evidence(b, view_b.self_incarnation, now)
+        view_b.direct_evidence(a, view_a.self_incarnation, now)
+        # Fresh heartbeats for the epidemic evidence stream.
+        view_a.enqueue(b, ALIVE, view_b.self_incarnation, now)
+        view_b.enqueue(a, ALIVE, view_a.self_incarnation, now)
+        for update in view_a.take_piggyback():
+            view_b.receive(update, now)
+        for update in view_b.take_piggyback():
+            view_a.receive(update, now)
+
+    def _suspect(self, member: str, target: str, now: float) -> None:
+        view = self.views[member]
+        record = view.records[target]
+        if record.state == DEAD:
+            return
+        if record.state == ALIVE:
+            record.state = SUSPECT
+            record.suspected_at = now
+            self.metrics.inc("membership.suspicions", source="probe")
+        view.enqueue(target, SUSPECT, record.incarnation,
+                     record.estimator.last_evidence)
+
+    def _sweep_confirms(self, view: MemberView, now: float) -> None:
+        for peer, record in view.records.items():
+            if record.state != SUSPECT:
+                continue
+            if record.estimator.phi(now) >= self.config.confirm_phi:
+                record.state = DEAD
+                record.suspected_at = None
+                self._confirmed(view.owner, peer, now, record,
+                                via_gossip=False)
+                view.enqueue(peer, DEAD, record.incarnation,
+                             record.estimator.last_evidence)
+
+    # -- bookkeeping shared by local and gossiped transitions -------------------
+
+    def _confirmed(self, observer: str, peer: str, now: float,
+                   record: MemberRecord, via_gossip: bool) -> None:
+        self.metrics.inc("membership.confirms",
+                         source="gossip" if via_gossip else "phi")
+        if not via_gossip:
+            estimator = record.estimator
+            self.confirm_log.append(ConfirmEvent(
+                observer=observer, peer=peer, at=now,
+                silence=now - estimator.last_evidence,
+                bound=estimator.silence_bound(self.config.confirm_phi),
+                phi=estimator.phi(now),
+                actually_online=self.network.is_online(peer)))
+        if peer not in self._dead:
+            self._dead.add(peer)
+            for callback in self._confirm_callbacks:
+                callback(peer, now)
+
+    def _revived(self, observer: str, peer: str,
+                 buried_as: Optional[int] = None,
+                 now: Optional[float] = None) -> None:
+        self.metrics.inc("membership.rejoins")
+        self._dead.discard(peer)
+        if buried_as is None:
+            return
+        # Direct contact proved the burial wrong, but DEAD is final in
+        # every *other* view until a strictly higher incarnation shows
+        # up — so the revived peer must outbid the record it was buried
+        # under before its ALIVE gossip can win anywhere else.
+        peer_view = self.views.get(peer)
+        if peer_view is not None and peer_view.self_incarnation <= buried_as:
+            peer_view.self_incarnation = buried_as + 1
+            peer_view.enqueue(peer, ALIVE, peer_view.self_incarnation,
+                              now if now is not None else self.sim.now)
+            self.metrics.inc("membership.refutations")
+
+    # -- health-aware candidate ordering (routing helpers) ----------------------
+
+    def order_by_health(self, observer: str, peers: Sequence[str]
+                        ) -> List[str]:
+        """Stable sort of ``peers`` by the observer's health scores.
+
+        Confirmed-dead peers sort last (not dropped: a false confirm
+        must still be reachable as the probe of last resort).  Observers
+        without a view get the input back unchanged.
+        """
+        view = self.views.get(observer)
+        if view is None:
+            return list(peers)
+        now = self.sim.now
+        return sorted(peers, key=lambda p: -view.health(p, now))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SwimMembership(members={len(self._members)}, "
+                f"dead={len(self._dead)}, started={self._started})")

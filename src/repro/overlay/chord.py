@@ -210,18 +210,28 @@ class ChordRing:
         unresponsive *after* retries is treated as dead for the rest of
         the lookup (routing detours around it instead of re-probing the
         same blocked hop until the hop budget runs out).
+
+        With a membership service attached to the fabric, the ``avoid``
+        set is pre-seeded with every peer the *start* node's view has
+        confirmed dead — the lookup detours before paying for the first
+        failed probe, which is the health-aware-routing half of E15.
         """
         key_id = chord_id(key)
         current = self.nodes.get(start)
         if current is None or not current.online:
             raise LookupError_(f"start node {start!r} is not online")
+        view = None
+        if self.fabric.membership is not None:
+            view = self.fabric.membership.view_of(start)
         with self.network.tracer.span("chord.lookup", key=key,
                                       start=start) as span:
             hops = 0
             rtt = 0.0
             failed = 0
-            avoid: Optional[Set[str]] = set() if self.channel is not None \
-                else None
+            avoid: Optional[Set[str]] = set() \
+                if (self.channel is not None or view is not None) else None
+            if view is not None:
+                avoid.update(view.dead_peers())
             while hops < max_hops:
                 successor = current.first_live_successor(self, avoid)
                 if successor is None:
@@ -318,6 +328,11 @@ class ChordRing:
         owner = result.owner if result is not None else self.owner_of(key)
         candidates = [owner] + [r for r in self.replica_set(key)
                                 if r != owner]
+        if self.fabric.membership is not None:
+            # Health-aware replica reads: probe the holders the reader
+            # believes healthy first; confirmed-dead ones sort last.
+            candidates = self.fabric.membership.order_by_health(
+                start, candidates)
         probed = 0
         for replica in candidates:
             node = self.nodes.get(replica)

@@ -60,6 +60,8 @@ class GossipNode(SimNode):
         for neighbor in self.neighbors:
             if neighbor == message.src:
                 continue
+            if not self.network.is_online(neighbor):
+                continue  # don't pay to flood peers currently offline
             self.network.send(Message(
                 kind="flood_query", src=self.node_id, dst=neighbor,
                 payload={"query_id": query_id, "key": key, "ttl": ttl - 1,
@@ -73,7 +75,12 @@ class GossipNode(SimNode):
         if rumor_id in self.received:
             return
         self.received[rumor_id] = self.network.sim.now
-        targets = [n for n in self.neighbors if n != message.src]
+        # The fabric's liveness source gates forwarding: a rumor is not
+        # pushed toward peers the churn model currently has offline
+        # (they rejoin with no way to receive it, and the messages were
+        # being counted as if delivery were possible).
+        targets = [n for n in self.neighbors
+                   if n != message.src and self.network.is_online(n)]
         if self._rng is not None and len(targets) > self._rumor_fanout:
             targets = self._rng.sample(targets, self._rumor_fanout)
         for neighbor in targets:
@@ -131,6 +138,8 @@ class GossipOverlay:
         """TTL-limited flood from ``start``; runs the simulator to quiescence."""
         if start not in self.nodes:
             raise OverlayError(f"unknown start node {start!r}")
+        if not self.network.is_online(start):
+            raise OverlayError(f"start node {start!r} is offline")
         state = _SearchState()
         query_id = f"{start}/{key}/{self.network.sim.now}"
         before = self.network.stats.messages
@@ -149,6 +158,8 @@ class GossipOverlay:
         """Push-gossip a rumor; returns node -> arrival time for reached peers."""
         if origin not in self.nodes:
             raise OverlayError(f"unknown origin {origin!r}")
+        if not self.network.is_online(origin):
+            raise OverlayError(f"origin {origin!r} is offline")
         self.network.send(Message(
             kind="rumor", src=origin, dst=origin,
             payload={"rumor_id": rumor_id}))

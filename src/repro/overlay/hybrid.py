@@ -103,7 +103,17 @@ class HybridOverlay:
                                      rtt=0.0)
         rpcs = 0
         rtt = 0.0
-        for neighbor in self.neighbors(reader)[:self.probe_limit]:
+        neighbors = self.neighbors(reader)
+        membership = self.fabric.membership
+        if membership is not None:
+            view = membership.view_of(reader)
+            if view is not None:
+                # Probe the healthiest neighbours' caches first and do
+                # not waste probes on confirmed-dead ones — the DHT
+                # fallback covers a false confirmation.
+                neighbors = [n for n in membership.order_by_health(
+                    reader, neighbors) if not view.is_dead(n)]
+        for neighbor in neighbors[:self.probe_limit]:
             ok, t = self.network.rpc(reader, neighbor, kind="hybrid_probe")
             rpcs += 1
             rtt += t

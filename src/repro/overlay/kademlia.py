@@ -154,6 +154,9 @@ class KademliaOverlay:
         shortlist = origin.closest_known(target_id, self.k)
         if not shortlist:
             raise LookupError_("empty routing table; bootstrap first")
+        view = None
+        if self.fabric.membership is not None:
+            view = self.fabric.membership.view_of(start)
         with self.network.tracer.span("kad.lookup", key=key,
                                       start=start) as span:
             queried: Set[str] = set()
@@ -161,7 +164,11 @@ class KademliaOverlay:
             rpcs = 0
             best = min(xor_distance(kad_id(n), target_id) for n in shortlist)
             while True:
-                candidates = [n for n in shortlist if n not in queried]
+                # Peers the start's membership view has confirmed dead
+                # are skipped without paying for the probe; XOR distance
+                # still decides the order among the believed-alive.
+                candidates = [n for n in shortlist if n not in queried
+                              and (view is None or not view.is_dead(n))]
                 candidates.sort(
                     key=lambda n: xor_distance(kad_id(n), target_id))
                 batch = candidates[:self.alpha]

@@ -106,16 +106,24 @@ def fetch_from_holders(channel, reader: str, placement: Placement,
     :class:`~repro.exceptions.ReplicaIntegrityError` instead of handing
     back tampered content.  Without ``blob_of`` the legacy first-responder
     hedge is used unchanged.
+
+    When the channel carries a membership service, holders are reordered
+    by the reader's health scores before probing (owner-first otherwise):
+    the holders most likely to answer are paid for first, confirmed-dead
+    ones last.
     """
+    holders = placement.holders
+    membership = getattr(channel, "membership", None)
+    if membership is not None:
+        holders = membership.order_by_health(reader, holders)
     if blob_of is None:
-        ok, winner, elapsed = channel.hedged(reader, placement.holders,
-                                             kind=kind)
+        ok, winner, elapsed = channel.hedged(reader, holders, kind=kind)
         return (winner if ok else None), elapsed
     stats = channel.network.stats
     elapsed = 0.0
     probed = 0
     served = 0
-    for holder in placement.holders:
+    for holder in holders:
         blob = blob_of(holder)
         if blob is None:
             continue  # holds nothing — not worth a probe

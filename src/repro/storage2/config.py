@@ -20,6 +20,13 @@ class ReplicationConfig:
     closed by read-repair plus the anti-entropy daemon when
     ``repair_interval`` is set (virtual seconds; ``None`` disables the
     daemon).
+
+    ``degraded_reads`` opts into graceful degradation: when fewer than
+    ``r`` verified responses are reachable but at least one is, the read
+    returns the newest *verified* copy flagged ``degraded=True`` instead
+    of raising — never unverified bytes, but possibly stale ones (the
+    freshness guarantee needs the quorum overlap).  Readers that cannot
+    tolerate staleness must check the flag.
     """
 
     n: int = 3
@@ -27,6 +34,7 @@ class ReplicationConfig:
     w: int = 2
     repair_interval: Optional[float] = None
     read_repair: bool = True
+    degraded_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

@@ -32,7 +32,13 @@ from repro.storage2.record import GENESIS, StoredVersion, seal_version
 
 @dataclass
 class ReadResult:
-    """Outcome of one verified quorum read."""
+    """Outcome of one verified quorum read.
+
+    ``degraded=True`` marks a :attr:`ReplicationConfig.degraded_reads`
+    fallback: the payload is the newest copy that *verified* (signature
+    checked — never tampered bytes) but fewer than ``R`` holders
+    answered, so the usual freshness guarantee does not apply.
+    """
 
     payload: bytes
     version: int
@@ -41,6 +47,7 @@ class ReadResult:
     verified: int        # responses that passed verification
     rejected: int        # responses that failed verification
     repaired: int        # holder copies fixed by read-repair
+    degraded: bool = False
 
 
 class ReplicatedStore:
@@ -233,7 +240,11 @@ class ReplicatedStore:
             responses: List[Tuple[str, Optional[StoredVersion]]] = []
             rejected = 0
             probed = 0
-            for holder in self.holders_of(key):
+            holders = self.holders_of(key)
+            membership = getattr(self.fabric, "membership", None)
+            if membership is not None:
+                holders = membership.order_by_health(reader, holders)
+            for holder in holders:
                 node = self.ring.nodes.get(holder)
                 if node is None or key not in node.store:
                     continue  # crashed holders lost the key with their state
@@ -264,6 +275,23 @@ class ReplicatedStore:
                     f"key {key!r} unavailable: no reachable replica "
                     "holds it")
             if len(verified) < self.config.r:
+                if self.config.degraded_reads:
+                    # DegradedRead: the quorum is unreachable but at
+                    # least one copy verified — serve it flagged rather
+                    # than failing.  Staleness is possible; tampered
+                    # bytes are not (only verified responses compete).
+                    best_holder, best = max(
+                        verified,
+                        key=lambda pair: (pair[1].version,
+                                          pair[1].record_hash()))
+                    self.metrics.inc("storage.degraded_reads")
+                    span.set_attr("degraded", True)
+                    span.set_attr("version", best.version)
+                    return ReadResult(
+                        payload=best.payload, version=best.version,
+                        author=best.author, holder=best_holder,
+                        verified=len(verified), rejected=rejected,
+                        repaired=0, degraded=True)
                 raise StorageError(
                     f"read quorum for {key!r} not met: {len(verified)} "
                     f"verified responses, needs R={self.config.r}")

@@ -16,6 +16,19 @@ the rest of the gap.  On every tick of the simulator clock it
 Data loss is still possible — if every holder of a key is offline at
 repair time there is nothing to copy from — which is exactly the
 durability edge E14 measures.
+
+**Liveness source.**  By default the daemon polls the churn oracle
+(``network.is_online``) — knowledge no deployed repair loop has.  With a
+membership service attached to the fabric it switches to the non-oracle
+path: holders are presumed alive unless *confirmed dead* by the failure
+detector, sync/re-replication copies are **pulled** by the believed-alive
+target from the source (so a wrongly-believed-alive source fails the RPC
+honestly instead of teleporting data), and cluster-first death
+confirmations trigger an immediate targeted re-replication of the dead
+holder's keys instead of waiting for the next tick
+(``storage.confirm_triggered_repairs``).  The one piece of local
+knowledge retained is each node's *own* ``online`` flag — a repair task
+simply does not run on a machine that is down.
 """
 
 from __future__ import annotations
@@ -32,13 +45,33 @@ from repro.storage2.record import StoredVersion
 class AntiEntropyDaemon:
     """Periodic repair over a :class:`ReplicatedStore`'s placements."""
 
-    def __init__(self, store: ReplicatedStore, interval: float) -> None:
+    def __init__(self, store: ReplicatedStore, interval: float,
+                 membership=None) -> None:
         if interval <= 0:
             raise SimulationError("repair interval must be positive")
         self.store = store
         self.interval = interval
         self.rounds = 0
         self._started = False
+        #: the failure detector replacing the churn oracle (see module
+        #: docstring); auto-discovered from the fabric when attached
+        self.membership = membership if membership is not None \
+            else getattr(store.fabric, "membership", None)
+        if self.membership is not None:
+            self.membership.on_confirm(self._on_confirmed_death)
+
+    # -- liveness (oracle vs. detector) -------------------------------------------
+
+    def _believes_alive(self, peer: str) -> bool:
+        """Whether repair should count on ``peer`` right now."""
+        if self.membership is None:
+            return self.store.network.is_online(peer)  # the legacy oracle
+        return not self.membership.confirmed_dead(peer)
+
+    def _can_initiate(self, peer: str) -> bool:
+        """Whether a repair task can *run at* ``peer`` (self-knowledge)."""
+        node = self.store.ring.nodes.get(peer)
+        return node is not None and node.online
 
     def start(self) -> None:
         """Schedule the recurring repair tick on the simulator clock."""
@@ -65,11 +98,17 @@ class AntiEntropyDaemon:
                 groups.setdefault(tuple(store.placements[key]),
                                   []).append(key)
             for holders, keys in sorted(groups.items()):
-                live = [h for h in holders
-                        if store.network.is_online(h)]
+                live = [h for h in holders if self._believes_alive(h)]
                 if len(live) < 2:
                     continue  # nobody to compare notes with
                 coordinator = live[0]
+                if self.membership is not None:
+                    # Beliefs pick the group; only a node that is really
+                    # up can run the comparison task (self-knowledge).
+                    initiators = [h for h in live if self._can_initiate(h)]
+                    if not initiators:
+                        continue
+                    coordinator = initiators[0]
                 local_root = self._summary_root(coordinator, keys)
                 for peer in live[1:]:
                     ok, _ = store._rpc(coordinator, peer,
@@ -131,7 +170,15 @@ class AntiEntropyDaemon:
                 if target == source \
                         or self._stored(target, key) == encoded:
                     continue
-                ok, _ = store._rpc(source, target, "antientropy_pull")
+                if self.membership is not None:
+                    # Non-oracle path: the target *pulls*, so a source
+                    # that is believed alive but actually gone fails the
+                    # RPC instead of teleporting data.
+                    if not self._can_initiate(target):
+                        continue
+                    ok, _ = store._rpc(target, source, "antientropy_pull")
+                else:
+                    ok, _ = store._rpc(source, target, "antientropy_pull")
                 if ok and store.store_at(target, key, encoded):
                     store.metrics.inc("storage.repair_pulls")
 
@@ -141,7 +188,7 @@ class AntiEntropyDaemon:
         target = store.config.n
         placed = store.placements[key]
         live = [h for h in placed
-                if store.network.is_online(h)
+                if self._believes_alive(h)
                 and self._stored(h, key) is not None]
         if len(live) >= target:
             return
@@ -156,7 +203,15 @@ class AntiEntropyDaemon:
                 break
             if candidate in placed or candidate in new_placement:
                 continue
-            ok, _ = store._rpc(source, candidate, "re_replicate")
+            if self.membership is not None:
+                # Pull semantics (see module docstring): the candidate
+                # fetches from the believed-best source, so a dead source
+                # fails honestly.
+                if not self._can_initiate(candidate):
+                    continue
+                ok, _ = store._rpc(candidate, source, "re_replicate")
+            else:
+                ok, _ = store._rpc(source, candidate, "re_replicate")
             if ok and store.store_at(candidate, key, encoded):
                 new_placement.append(candidate)
                 store.metrics.inc("storage.re_replications")
@@ -174,4 +229,24 @@ class AntiEntropyDaemon:
         start = ring._successor_index(ids, chord_id(key))
         rotated = ordered[start:] + ordered[:start]
         return [node.node_id for node in rotated
-                if self.store.network.is_online(node.node_id)]
+                if self._believes_alive(node.node_id)]
+
+    # -- confirm-triggered repair (non-oracle path only) ---------------------------
+
+    def _on_confirmed_death(self, peer: str, now: float) -> None:
+        """Membership confirmed ``peer`` dead: repair its keys right away."""
+        keys = sorted(k for k, holders in self.store.placements.items()
+                      if peer in holders)
+        if not keys:
+            return
+        self.store.metrics.inc("storage.confirm_triggered_repairs")
+        self.store.sim.schedule(
+            0.0, lambda: self._repair_keys(peer, keys))
+
+    def _repair_keys(self, peer: str, keys: List[str]) -> None:
+        store = self.store
+        with store.network.tracer.span("storage2.confirm_repair",
+                                       peer=peer, keys=len(keys)):
+            for key in keys:
+                if key in store.placements:
+                    self._re_replicate(key)

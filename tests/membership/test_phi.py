@@ -1,0 +1,85 @@
+"""Unit tests for the phi-accrual suspicion estimator."""
+
+import pytest
+
+from repro.membership import LN10, PhiEstimator
+
+
+def make(window=8, initial=5.0, floor=0.25, now=0.0):
+    return PhiEstimator(window, initial, floor, now)
+
+
+class TestMeanGap:
+    def test_initial_interval_until_three_samples(self):
+        est = make(initial=5.0)
+        assert est.mean_gap == 5.0
+        est.evidence(1.0)
+        est.evidence(2.0)
+        assert est.mean_gap == 5.0  # still the prior
+        est.evidence(3.0)
+        assert est.mean_gap == pytest.approx(1.0)
+
+    def test_mean_over_sliding_window(self):
+        est = make(window=4)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            est.evidence(t)
+        assert est.mean_gap == pytest.approx(1.0)
+        est.evidence(14.0)  # a 10s gap slides in, a 1s gap slides out
+        assert est.mean_gap == pytest.approx((1 + 1 + 1 + 10) / 4)
+
+    def test_min_interval_floors_the_estimate(self):
+        est = make(floor=0.5)
+        for t in (0.01, 0.02, 0.03, 0.04):
+            est.evidence(t)
+        assert est.mean_gap == 0.5
+
+    def test_initial_interval_is_floored_too(self):
+        assert make(initial=0.01, floor=0.5).mean_gap == 0.5
+
+
+class TestEvidence:
+    def test_stale_timestamps_are_ignored(self):
+        est = make()
+        assert est.evidence(2.0)
+        assert not est.evidence(1.0)  # older piggybacked news
+        assert not est.evidence(2.0)  # duplicate
+        assert est.last_evidence == 2.0
+        assert est.snapshot() == pytest.approx(2.0)
+
+    def test_restart_resets_clock_without_a_gap(self):
+        est = make()
+        est.evidence(1.0)
+        est.restart(100.0)
+        assert est.last_evidence == 100.0
+        assert est.snapshot() == pytest.approx(1.0)  # no 99s gap recorded
+        assert est.phi(100.0) == 0.0
+
+
+class TestPhi:
+    def test_zero_at_or_before_evidence(self):
+        est = make()
+        est.evidence(5.0)
+        assert est.phi(5.0) == 0.0
+        assert est.phi(4.0) == 0.0
+
+    def test_exponential_model_formula(self):
+        est = make()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            est.evidence(t)
+        assert est.phi(4.0 + 2.0) == pytest.approx(2.0 / (1.0 * LN10))
+
+    def test_silence_bound_inverts_phi(self):
+        est = make()
+        for t in (1.0, 2.5, 3.0, 4.0):
+            est.evidence(t)
+        for threshold in (1.0, 3.0, 8.0):
+            bound = est.silence_bound(threshold)
+            assert est.phi(est.last_evidence + bound) == \
+                pytest.approx(threshold)
+
+    def test_slow_pair_gets_longer_bound(self):
+        fast, slow = make(), make()
+        for i in range(1, 6):
+            fast.evidence(float(i))
+            slow.evidence(float(10 * i))
+        assert slow.silence_bound(8.0) > fast.silence_bound(8.0)

@@ -74,6 +74,33 @@ class TestGossip:
         overlay.gossip_disseminate("u0", "r2")
         assert "r2" not in overlay.nodes["u5"].received
 
+    def test_gossip_skips_offline_peers_without_paying_messages(self):
+        """Regression: rumors used to be sent (and charged) toward
+        offline peers, then dropped at delivery time."""
+        net, overlay = self.build()
+        for name in ("u5", "u9", "u13"):
+            overlay.nodes[name].online = False
+        overlay.gossip_disseminate("u0", "r3")
+        assert net.stats.drops == 0
+
+    def test_flood_skips_offline_peers_without_paying_messages(self):
+        net, overlay = self.build()
+        overlay.place_key("content", "u30")
+        for name in ("u5", "u9", "u13"):
+            overlay.nodes[name].online = False
+        result = overlay.flood_search("u0", "content", ttl=6)
+        assert result.found
+        assert net.stats.drops == 0
+        assert "u5" not in result.holders_reached
+
+    def test_offline_start_and_origin_rejected(self):
+        net, overlay = self.build()
+        overlay.nodes["u0"].online = False
+        with pytest.raises(OverlayError):
+            overlay.flood_search("u0", "k")
+        with pytest.raises(OverlayError):
+            overlay.gossip_disseminate("u0", "r")
+
 
 class TestSuperPeer:
     def build(self, peers=40, supers=4, seed=0):

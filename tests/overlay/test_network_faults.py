@@ -435,6 +435,138 @@ class TestByzantineHolderFaults:
                    for i in range(8))
 
 
+class TestBreakerStateGauge:
+    """Satellite: the breaker's per-destination state as a labelled gauge."""
+
+    def test_state_walks_closed_open_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0)
+        assert breaker.state("b", 0.0) == "closed"
+        breaker.record_failure("b", 0.0)
+        assert breaker.state("b", 0.0) == "closed"  # below threshold
+        breaker.record_failure("b", 0.0)
+        assert breaker.state("b", 5.0) == "open"
+        assert breaker.state("b", 10.0) == "half_open"
+        breaker.record_failure("b", 10.0)  # failed half-open probe
+        assert breaker.state("b", 15.0) == "open"
+        breaker.record_success("b")
+        assert breaker.state("b", 15.0) == "closed"
+
+    def test_gauge_tracks_breaker_per_destination(self):
+        from repro.faults import BREAKER_STATE_VALUES
+        sim, net, a, b = _net()
+        b.go_offline()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        channel = ReliableChannel(net, RetryPolicy(max_attempts=1), breaker)
+        gauge = net.metrics.gauge("channel.breaker_state", dst="b")
+        channel.call("a", "b")  # trips open
+        assert gauge.value == BREAKER_STATE_VALUES["open"]
+        b.go_online()
+        sim.run(until=15.0)
+        channel.call("a", "b")  # half-open probe succeeds -> closed
+        assert gauge.value == BREAKER_STATE_VALUES["closed"]
+        # an untouched destination never even creates a gauge series
+        assert net.metrics.gauge("channel.breaker_state", dst="a").value \
+            == 0.0
+
+    def test_gauge_reopens_after_failed_probe(self):
+        from repro.faults import BREAKER_STATE_VALUES
+        sim, net, a, b = _net()
+        b.go_offline()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10.0)
+        channel = ReliableChannel(net, RetryPolicy(max_attempts=1), breaker)
+        channel.call("a", "b")
+        sim.run(until=15.0)
+        channel.call("a", "b")  # half-open probe fails -> re-open
+        gauge = net.metrics.gauge("channel.breaker_state", dst="b")
+        assert gauge.value == BREAKER_STATE_VALUES["open"]
+        assert breaker.is_open("b", net.sim.now + 5.0)
+
+
+class TestMembershipChannel:
+    """The adaptive liveness policy replacing fixed breaker thresholds."""
+
+    def _channel(self, n=4):
+        from repro.fabric import Fabric
+        from repro.membership import MembershipConfig, SwimMembership
+        from repro.overlay.simulator import FixedLatency
+        fab = Fabric.create(seed=5, latency=FixedLatency(0.05),
+                            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+                            breaker=CircuitBreaker(failure_threshold=1))
+        membership = SwimMembership(fab, MembershipConfig())
+        for i in range(n):
+            fab.network.register(_Echo(f"p{i}"))
+            membership.register(f"p{i}")
+        return fab, fab.channel, membership
+
+    def test_confirmed_dead_destination_fails_fast(self):
+        fab, channel, membership = self._channel()
+        membership.view_of("p0").records["p1"].state = "dead"
+        before = fab.network.stats.messages
+        ok, elapsed = channel.call("p0", "p1")
+        assert not ok and elapsed == 0.0
+        assert fab.network.stats.messages == before  # no traffic paid
+        assert fab.network.stats.breaker_fastfails == 1
+        assert fab.metrics.get_counter_value(
+            "channel.membership_fastfails", kind="rpc") == 1
+
+    def test_suspect_destination_gets_a_single_attempt(self):
+        fab, channel, membership = self._channel()
+        membership.view_of("p0").records["p1"].state = "suspect"
+        fab.network.node("p1").go_offline()
+        ok, _ = channel.call("p0", "p1")
+        assert not ok
+        assert fab.network.stats.timeouts == 1  # not max_attempts
+        assert fab.network.stats.retries == 0
+
+    def test_healthy_destination_keeps_full_retries(self):
+        fab, channel, membership = self._channel()
+        fab.network.node("p1").go_offline()
+        ok, _ = channel.call("p0", "p1")
+        assert not ok
+        assert fab.network.stats.timeouts == 3
+
+    def test_success_feeds_the_view_as_evidence(self):
+        fab, channel, membership = self._channel()
+        record = membership.view_of("p0").records["p1"]
+        record.state = "suspect"
+        fab.sim.run(until=5.0)
+        ok, _ = channel.call("p0", "p1")
+        assert ok
+        assert record.state == "alive"  # Lifeguard-style local refutation
+
+    def test_breaker_not_consulted_when_view_exists(self):
+        fab, channel, membership = self._channel()
+        fab.network.node("p1").go_offline()
+        channel.call("p0", "p1")  # would trip the threshold-1 breaker
+        assert fab.network.stats.breaker_trips == 0
+        fab.network.node("p1").go_online()
+        ok, _ = channel.call("p0", "p1")  # no open breaker blocking it
+        assert ok
+
+    def test_non_member_source_still_uses_the_breaker(self):
+        fab, channel, membership = self._channel()
+        fab.network.register(_Echo("outsider"))
+        fab.network.node("p1").go_offline()
+        channel.call("outsider", "p1")
+        assert fab.network.stats.breaker_trips == 1
+
+    def test_hedged_probes_healthy_holders_first(self):
+        fab, channel, membership = self._channel()
+        view = membership.view_of("p0")
+        view.records["p1"].state = "dead"
+        ok, winner, _ = channel.hedged("p0", ["p1", "p2"])
+        assert ok and winner == "p2"
+        assert fab.network.stats.hedges == 0  # the dead one was never paid
+
+    def test_hedged_still_probes_the_dead_as_last_resort(self):
+        fab, channel, membership = self._channel()
+        view = membership.view_of("p0")
+        view.records["p1"].state = "dead"  # false confirmation: p1 is up
+        fab.network.node("p2").go_offline()
+        ok, winner, _ = channel.hedged("p0", ["p1", "p2"])
+        assert ok and winner == "p1"
+
+
 class TestResilientChord:
     def _ring(self, resilient, partitioned):
         from repro.fabric import Fabric

@@ -237,3 +237,67 @@ class TestDeterminism:
 
     def test_same_seed_same_byzantine_behaviour(self):
         assert self._run() == self._run()
+
+
+class TestDegradedReads:
+    """Graceful degradation: below-quorum reads serve verified-but-flagged."""
+
+    CONFIG = ReplicationConfig(n=3, r=2, w=2, degraded_reads=True)
+
+    def test_single_verified_copy_is_served_flagged(self):
+        fabric, ring, store = make_store(config=self.CONFIG)
+        store.put("p0", "k", b"payload")
+        holders = store.placements["k"]
+        for holder in holders[1:]:
+            ring.nodes[holder].go_offline()
+        result = store.get(reader_for(ring, holders), "k")
+        assert result.degraded
+        assert result.payload == b"payload"
+        assert result.verified == 1 and result.repaired == 0
+        assert fabric.metrics.get_counter_value(
+            "storage.degraded_reads") == 1
+
+    def test_full_quorum_reads_stay_unflagged(self):
+        fabric, _, store = make_store(config=self.CONFIG)
+        store.put("p0", "k", b"payload")
+        result = store.get("p9", "k")
+        assert not result.degraded
+        assert fabric.metrics.get_counter_value(
+            "storage.degraded_reads") == 0
+
+    def test_degraded_never_returns_unverified_bytes(self):
+        """The one reachable holder is a corrupter: raise, don't serve."""
+        holders = make_store()[1].replica_set("k")[:3]
+        plan = FaultPlan(seed=7).add(CorruptBlob(holders={holders[0]}))
+        _, ring, store = make_store(plan=plan, config=self.CONFIG)
+        store.put("p0", "k", b"payload")
+        for holder in store.placements["k"]:
+            if holder != holders[0]:
+                ring.nodes[holder].go_offline()
+        with pytest.raises(ReplicaIntegrityError):
+            store.get(reader_for(ring, store.placements["k"]), "k")
+
+    def test_newest_verified_copy_wins_the_degraded_read(self):
+        fabric, ring, store = make_store(config=self.CONFIG)
+        store.put("p0", "k", b"v1")
+        holders = store.placements["k"]
+        laggard = holders[-1]
+        ring.nodes[laggard].go_offline()
+        store.put("p0", "k", b"v2")
+        # only holders that saw v2 go away; the laggard returns with v1
+        for holder in holders[:-1]:
+            ring.nodes[holder].go_offline()
+        ring.nodes[laggard].go_online()
+        result = store.get(reader_for(ring, holders), "k")
+        assert result.degraded
+        assert result.version == 1  # stale is possible — and flagged
+        assert result.payload == b"v1"
+
+    def test_flag_off_keeps_the_legacy_failure(self):
+        _, ring, store = make_store()
+        store.put("p0", "k", b"payload")
+        holders = store.placements["k"]
+        for holder in holders[1:]:
+            ring.nodes[holder].go_offline()
+        with pytest.raises(StorageError, match="quorum"):
+            store.get(reader_for(ring, holders), "k")
