@@ -30,8 +30,10 @@ def main() -> None:
     net.post("carol", "who else is at ICDCS?")
 
     print("alice's post id:", cid)
-    post = net.read("bob", "alice", cid)
-    print(f"bob reads alice: {post.text!r} (tags={post.tags})")
+    result = net.read("bob", "alice", cid)   # a typed ReadResult
+    post = result.post
+    print(f"bob reads alice: {post.text!r} (tags={post.tags}, "
+          f"served from {result.source})")
 
     print("\nbob's verified feed:")
     feed = net.feed("bob")

@@ -1,0 +1,24 @@
+"""Hot-path read caching for the DOSN (per-reader, chain-verified).
+
+The package behind ``DosnConfig(cache=CacheConfig(...))``:
+
+* :class:`CacheConfig` — the frozen knob surface (off by default);
+* :class:`VerifiedContentCache` — per-reader LRU of verified posts,
+  keyed by cid and invalidated via the author's hash-chain head;
+* :class:`SocialPrefetcher` — warms caches along social edges with
+  friends' timeline heads, through the batched
+  :meth:`~repro.dosn.storage.StorageBackend.get_many` read path;
+* :class:`LRUMap` — the deterministic eviction primitive.
+
+Nothing is ever served from cache without re-checking the author's
+signed chain head — see :mod:`repro.cache.content` for the rule, and
+``docs/performance.md`` for the tier diagram and wire-cost analysis.
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.content import CacheEntry, VerifiedContentCache
+from repro.cache.lru import LRUMap
+from repro.cache.prefetch import SocialPrefetcher
+
+__all__ = ["CacheConfig", "CacheEntry", "LRUMap", "SocialPrefetcher",
+           "VerifiedContentCache"]

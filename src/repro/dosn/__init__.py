@@ -11,12 +11,16 @@ from repro.dosn.content import Post, Profile, ProfileField, content_id
 from repro.dosn.feed import FeedItem, FeedReport, assemble_feed
 from repro.dosn.identity import Identity, KeyRegistry, create_identity
 from repro.dosn.provider import CentralProvider, ExposureReport
+from repro.dosn.results import READ_SOURCES, ReadResult
+from repro.dosn.storage import FetchedBlob, StorageBackend
 from repro.dosn.user import DosnUser, VerifiedPost
 
 __all__ = [
     "ARCHITECTURES", "CentralProvider", "DosnConfig", "DosnNetwork",
     "DosnUser",
-    "ExposureReport", "FeedItem", "FeedReport", "Identity", "KeyRegistry",
-    "Post", "Profile", "ProfileField", "VerifiedPost", "assemble_feed",
+    "ExposureReport", "FeedItem", "FeedReport", "FetchedBlob", "Identity",
+    "KeyRegistry",
+    "Post", "Profile", "ProfileField", "READ_SOURCES", "ReadResult",
+    "StorageBackend", "VerifiedPost", "assemble_feed",
     "content_id", "create_identity",
 ]

@@ -21,32 +21,42 @@ Configuration beyond ``architecture``/``seed`` lives in the keyword-only
     net = DosnNetwork(config=DosnConfig(architecture="dht", seed=7,
                                         replication=3, tracing=True))
 
-The old loose kwargs (``encrypt_content=``, ``level=``, ``replication=``,
-``federation_pods=``) still work for one release and raise
-:class:`~repro.exceptions.ReproDeprecationWarning`.  With
+(The loose ``encrypt_content=``/``level=``/``replication=``/
+``federation_pods=`` constructor kwargs, deprecated for one release, are
+gone — ``config=DosnConfig(...)`` is the only spelling.)  With
 ``tracing=True`` every ``post``/``read``/``feed``/``befriend`` opens a
 span on the fabric tracer, nesting the overlay, storage and crypto spans
 beneath it — experiment E13 builds its cost-breakdown tables from exactly
 this tree.
+
+Reads return a typed :class:`~repro.dosn.results.ReadResult` carrying
+the verified post plus its provenance (``cache``/``quorum``/``bare``,
+degraded or not).  ``DosnConfig(cache=CacheConfig(...))`` turns on the
+hot-path read machinery of :mod:`repro.cache`: per-reader verified-
+content caching invalidated by the author's hash-chain head, batched
+:meth:`StorageBackend.get_many` feed fan-out, and social prefetching —
+all strictly off by default, so every committed experiment table
+regenerates byte-identically with the cache disabled.
 """
 
 from __future__ import annotations
 
 import random as _random
-import warnings
 from dataclasses import dataclass, replace as _dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.cache import CacheConfig, SocialPrefetcher, VerifiedContentCache
 from repro.dosn.feed import FeedReport, assemble_feed
 from repro.dosn.provider import CentralProvider, ExposureReport
+from repro.dosn.results import ReadResult
 from repro.dosn.storage import (CentralBackend, DHTBackend,
                                 FederationBackend, LocalBackend,
                                 StorageBackend)
 from repro.dosn.user import DosnUser
 from repro.dosn.identity import KeyRegistry
-from repro.exceptions import OverlayError, ReproDeprecationWarning
+from repro.exceptions import IntegrityError, OverlayError
 from repro.fabric import Fabric
 from repro.membership import MembershipConfig, SwimMembership
 from repro.overlay.chord import ChordRing
@@ -127,6 +137,11 @@ class DosnConfig:
     #: routing, the resilient channel, and the anti-entropy daemon.
     #: DHT architecture only; ``None`` keeps the legacy oracle paths.
     membership: Optional[MembershipConfig] = None
+    #: hot-path read caching (:mod:`repro.cache`): per-reader verified-
+    #: content LRU + batched feed fan-out + social prefetch.  ``None``
+    #: (the default) keeps every read cold and every legacy code path —
+    #: including RNG draws and span order — untouched.
+    cache: Optional[CacheConfig] = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -143,18 +158,26 @@ class DosnConfig:
         return _dc_replace(self, **changes)
 
 
-_LEGACY_KWARGS = ("encrypt_content", "level", "replication",
-                  "federation_pods")
-
-
 class DosnNetwork:
     """A complete simulated (D)OSN."""
 
     def __init__(self, architecture: Optional[str] = None,
                  seed: Optional[int] = None, *,
                  config: Optional[DosnConfig] = None,
-                 fabric: Optional[Fabric] = None, **legacy) -> None:
-        config = self._resolve_config(architecture, seed, config, legacy)
+                 fabric: Optional[Fabric] = None) -> None:
+        if config is None:
+            config = DosnConfig(
+                architecture=(architecture if architecture is not None
+                              else "dht"),
+                seed=seed if seed is not None else 0)
+        else:
+            overrides = {}
+            if architecture is not None:
+                overrides["architecture"] = architecture
+            if seed is not None:
+                overrides["seed"] = seed
+            if overrides:
+                config = config.with_overrides(**overrides)
         self.config = config
         self.architecture = config.architecture
         self.level = config.level
@@ -209,8 +232,23 @@ class DosnNetwork:
             self.storage = LocalBackend()
         #: cid -> (author, encrypted?) for exposure accounting
         self._catalog: Dict[str, Tuple[str, bool]] = {}
+        #: cid -> (text, tags, sequence): enough to reseal on :meth:`repost`
+        self._posts: Dict[str, Tuple[str, Tuple[str, ...], int]] = {}
         self.index = None
         self.stack = self._build_stack(config)
+        #: the per-reader verified-content cache (``None`` when cold)
+        self.cache: Optional[VerifiedContentCache] = None
+        #: warms caches along social edges (``None`` unless enabled)
+        self.prefetcher: Optional[SocialPrefetcher] = None
+        if config.cache is not None and config.cache.caching:
+            self.cache = VerifiedContentCache(
+                config.cache.capacity_per_reader, metrics=self.metrics)
+            if config.cache.prefetch:
+                self.prefetcher = SocialPrefetcher(
+                    self.cache, config.cache.prefetch_depth,
+                    view_of=self._view_of, fetch_many=self._fetch_many,
+                    open_post=self._open_for,
+                    metrics=self.metrics, tracer=self.tracer)
 
     def _build_stack(self, config: DosnConfig) -> ProtectionStack:
         """Assemble the network's :class:`ProtectionStack`.
@@ -261,7 +299,11 @@ class DosnNetwork:
                          recipients=sorted(user.friends))
 
     def _layer_fetch(self, item: ContentItem) -> None:
-        item.payload = self.storage.get(item.reader, item.cid)
+        # fetch_blob issues exactly the RPCs .get() would (legacy tables
+        # depend on that) but keeps the provenance for the ReadResult.
+        fetched = self.storage.fetch_blob(item.reader, item.cid)
+        item.payload = fetched.blob
+        item.meta["fetched"] = fetched
 
     def _layer_unprotect(self, item: ContentItem) -> None:
         item.payload = self.users[item.reader].unlock(item.author,
@@ -271,38 +313,43 @@ class DosnNetwork:
         item.result = self.users[item.reader].verify_document(
             item.author, item.payload, expected_cid=item.cid)
 
-    @staticmethod
-    def _resolve_config(architecture: Optional[str], seed: Optional[int],
-                        config: Optional[DosnConfig],
-                        legacy: Dict[str, object]) -> DosnConfig:
-        unknown = set(legacy) - set(_LEGACY_KWARGS)
-        if unknown:
-            raise TypeError(
-                f"unexpected DosnNetwork arguments {sorted(unknown)}")
-        if legacy:
-            warnings.warn(
-                f"DosnNetwork({', '.join(sorted(legacy))}=...) keyword "
-                "arguments are deprecated; pass config=DosnConfig(...) "
-                "instead", ReproDeprecationWarning, stacklevel=3)
-            if config is not None:
-                raise TypeError(
-                    "pass either config=DosnConfig(...) or the deprecated "
-                    "loose kwargs, not both")
-        if config is None:
-            config = DosnConfig(
-                architecture=architecture if architecture is not None
-                else "dht",
-                seed=seed if seed is not None else 0,
-                **legacy)  # type: ignore[arg-type]
-        else:
-            overrides = {}
-            if architecture is not None:
-                overrides["architecture"] = architecture
-            if seed is not None:
-                overrides["seed"] = seed
-            if overrides:
-                config = config.with_overrides(**overrides)
-        return config
+    # -- cache plumbing (only exercised with DosnConfig(cache=...)) ----------------
+
+    def _view_of(self, reader: str, author: str):
+        """Sync and return ``reader``'s chain-verified view of ``author``.
+
+        ``None`` when the author is unknown, unsynced, or their published
+        chain fails to extend the verified view — the cache refuses to
+        serve without this evidence.
+        """
+        user = self.users[reader]
+        friend = self.users.get(author)
+        if friend is not None:
+            try:
+                user.sync_timeline(friend)
+            except IntegrityError:
+                return None
+        return user.views.get(author)
+
+    def _fetch_many(self, reader: str, cids: List[str]) -> Dict[str, object]:
+        """The batched storage read, under one span (the E16 hot path).
+
+        ``CacheConfig(batch_reads=False)`` pins the sequential default
+        (one :meth:`fetch_blob` per cid) for apples-to-apples benchmarks.
+        """
+        with self.tracer.span("storage.get_many", reader=reader,
+                              requested=len(cids)):
+            if self.config.cache is not None \
+                    and not self.config.cache.batch_reads:
+                return StorageBackend.get_many(self.storage, reader, cids)
+            return self.storage.get_many(reader, cids)
+
+    def _open_for(self, reader: str, author: str, blob: bytes, cid: str):
+        """Decrypt + verify one fetched blob through the stack's read path."""
+        item = ContentItem(author=author, reader=reader, cid=cid,
+                           payload=blob)
+        self.stack.read(item, only=("acl", "integrity"))
+        return item.result
 
     # -- population -----------------------------------------------------------
 
@@ -328,12 +375,21 @@ class DosnNetwork:
         return [self.add_user(name) for name in names]
 
     def befriend(self, a: str, b: str) -> None:
-        """Create a mutual friendship (keys exchanged out-of-band)."""
+        """Create a mutual friendship (keys exchanged out-of-band).
+
+        With a prefetcher enabled each side's cache is warmed with the
+        new friend's newest posts right away — the social graph is the
+        access predictor, and a fresh edge is the strongest signal.
+        """
         with self.tracer.span("dosn.befriend", a=a, b=b):
             self.users[a].befriend(self.users[b])
             self.graph.add_edge(a, b)
             if self.provider is not None:
                 self.provider.record_edge(a, b)
+        if self.prefetcher is not None:
+            self._ensure_routing()
+            self.prefetcher.warm(a, (b,))
+            self.prefetcher.warm(b, (a,))
 
     def apply_social_graph(self, graph: nx.Graph) -> None:
         """Befriend along every edge of a (workload-generated) graph."""
@@ -359,15 +415,83 @@ class DosnNetwork:
                                meta={"text": text, "tags": tags})
             self.stack.post(item)
             self._catalog[item.cid] = (author, self.encrypt_content)
+            self._posts[item.cid] = (text, tuple(tags),
+                                     self.users[author].posts_published - 1)
             return item.cid
 
-    def read(self, reader: str, author: str, cid: str):
-        """Fetch, decrypt and verify one post as ``reader``."""
+    def repost(self, author: str, cid: str) -> str:
+        """Overwrite a published post in place: same cid, fresh bytes.
+
+        Content addressing pins the cid, but the randomized signature and
+        fresh cipher nonce make the stored blob differ, and the author's
+        hash chain re-lists the cid — the signed announcement that makes
+        every reader's cached copy provably stale
+        (:meth:`repro.cache.VerifiedContentCache.lookup` evicts on it).
+        On quorum backends the overwrite seals the next version, so
+        Byzantine holders gain real stale history to replay.
+        """
+        record = self._posts.get(cid)
+        if record is None:
+            raise OverlayError(
+                f"unknown content id {cid!r}: only posts published "
+                "through this network can be reposted")
+        owner, _ = self._catalog[cid]
+        if owner != author:
+            raise OverlayError(
+                f"{author!r} cannot repost {owner!r}'s content")
+        text, tags, sequence = record
+        self._ensure_routing()
+        with self.tracer.span("dosn.repost", author=author):
+            user = self.users[author]
+            new_cid, document = user.reseal_post(text, tags, sequence)
+            assert new_cid == cid  # the address is a function of the content
+            blob = user.protect_document(document)
+            self.storage.put(author, cid, blob,
+                             recipients=sorted(user.friends))
+            return cid
+
+    def read(self, reader: str, author: str, cid: str) -> ReadResult:
+        """Fetch, decrypt and verify one post as ``reader``.
+
+        Returns a typed :class:`~repro.dosn.results.ReadResult` — the
+        verified post under ``.post`` plus provenance (``source`` in
+        ``cache``/``quorum``/``bare``, ``degraded``).  With caching
+        enabled, a hit is served only after re-checking the entry against
+        the author's current chain-verified head; misses run the full
+        stack and seed the cache.
+        """
         self._ensure_routing()
         with self.tracer.span("dosn.read", reader=reader, author=author):
+            view = None
+            if self.cache is not None:
+                view = self._view_of(reader, author)
+                entry = self.cache.lookup(reader, author, cid, view)
+                if entry is not None:
+                    return ReadResult(entry.post, verified=True,
+                                      degraded=False, source="cache")
             item = ContentItem(author=author, reader=reader, cid=cid)
             self.stack.read(item)
-            return item.result
+            fetched = item.meta.get("fetched")
+            result = ReadResult(item.result, verified=True,
+                                degraded=getattr(fetched, "degraded", False),
+                                source=getattr(fetched, "source", "bare"))
+            if self.cache is not None and view is not None \
+                    and not result.degraded:
+                self.cache.insert(reader, author, cid, item.result, view,
+                                  version=getattr(fetched, "version", None))
+            return result
+
+    def prefetch(self, reader: str) -> int:
+        """Warm ``reader``'s cache with their friends' newest posts.
+
+        Returns how many posts were fetched, verified and cached; always
+        0 when the network runs without a prefetcher
+        (``DosnConfig.cache`` unset, capacity 0, or ``prefetch=False``).
+        """
+        if self.prefetcher is None:
+            return 0
+        self._ensure_routing()
+        return self.prefetcher.warm(reader, self.users[reader].friends)
 
     def feed(self, reader: str,
              limit_per_friend: Optional[int] = None) -> FeedReport:
@@ -375,13 +499,18 @@ class DosnNetwork:
 
         The fetch pass runs only the stack's placement layer; each
         fetched blob is then opened through the ACL + integrity layers.
+        With ``DosnConfig.cache`` set the feed switches to the batched
+        strategy: the prefetcher warms the reader's cache, chain-
+        validated hits skip fetch + decrypt + verify, and the remaining
+        cids ride one :meth:`StorageBackend.get_many` call (one route /
+        RPC per holder instead of one per post).
         """
         self._ensure_routing()
 
-        def fetch(r: str, cid: str) -> bytes:
+        def fetch(r: str, cid: str):
             item = ContentItem(author="", reader=r, cid=cid)
             self.stack.read(item, only=("placement",))
-            return item.payload
+            return item.meta.get("fetched", item.payload)
 
         def open_post(author: str, blob: bytes, cid: str):
             item = ContentItem(author=author, reader=reader, cid=cid,
@@ -389,10 +518,15 @@ class DosnNetwork:
             self.stack.read(item, only=("acl", "integrity"))
             return item.result
 
+        fetch_many = (self._fetch_many if self.config.cache is not None
+                      else None)
         with self.tracer.span("dosn.feed", reader=reader):
+            if self.prefetcher is not None:
+                self.prefetcher.warm(reader, self.users[reader].friends)
             return assemble_feed(
                 self.users[reader], self.users, fetch=fetch,
-                limit_per_friend=limit_per_friend, open_post=open_post)
+                limit_per_friend=limit_per_friend, open_post=open_post,
+                fetch_many=fetch_many, cache=self.cache)
 
     def search(self, query: str) -> List[str]:
         """Content ids matching ``query`` via the stack's index layer.

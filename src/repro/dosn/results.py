@@ -1,0 +1,69 @@
+"""Typed read/feed results: what a read returned *and how much to trust it*.
+
+:meth:`DosnNetwork.read <repro.dosn.api.DosnNetwork.read>` used to pass
+the bare :class:`~repro.dosn.user.VerifiedPost` through, which left the
+caller no way to tell a fresh quorum read from a degraded one, or a
+cache hit from a cold fetch.  :class:`ReadResult` makes that provenance
+part of the API:
+
+* ``post`` — the decrypted, signature-verified post;
+* ``verified`` — whether the full decrypt + verify pipeline ran on the
+  served bytes (always ``True`` on current paths; the field exists so a
+  future best-effort mode cannot masquerade as verified);
+* ``degraded`` — a below-quorum read
+  (:attr:`repro.storage2.ReplicationConfig.degraded_reads`): verified
+  bytes, weakened freshness guarantee;
+* ``source`` — ``"cache"`` (served from the reader's verified-content
+  cache after a chain-head re-check), ``"quorum"`` (a verified R-of-N
+  quorum read) or ``"bare"`` (first-responder / provider fetch).
+
+For one release, attribute access that used to land on the
+:class:`VerifiedPost` (``result.text``, ``result.author``, ...) keeps
+working through a deprecation proxy; new code reads ``result.post.text``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from repro.dosn.user import VerifiedPost
+from repro.exceptions import ReproDeprecationWarning
+
+__all__ = ["READ_SOURCES", "ReadResult"]
+
+#: Legal values of :attr:`ReadResult.source`.
+READ_SOURCES = ("cache", "quorum", "bare")
+
+#: VerifiedPost fields the deprecation proxy forwards for one release.
+_PROXIED = ("author", "sequence", "text", "tags", "content_id")
+
+
+@dataclass
+class ReadResult:
+    """One read's payload plus its trust provenance."""
+
+    post: VerifiedPost
+    verified: bool = True
+    degraded: bool = False
+    source: str = "bare"
+
+    def __post_init__(self) -> None:
+        if self.source not in READ_SOURCES:
+            raise ValueError(
+                f"ReadResult.source must be one of {READ_SOURCES}, "
+                f"got {self.source!r}")
+
+    def __getattr__(self, name: str):
+        # Only reached for attributes not on ReadResult itself: the
+        # pre-typed API handed the VerifiedPost straight to callers, so
+        # forward its fields for one release with a warning.
+        if name in _PROXIED:
+            warnings.warn(
+                f"ReadResult.{name} is deprecated; read "
+                f"ReadResult.post.{name} instead (the typed result "
+                "carries the post under .post)",
+                ReproDeprecationWarning, stacklevel=2)
+            return getattr(self.post, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")

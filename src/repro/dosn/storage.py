@@ -5,17 +5,50 @@ social workload can run against a centralized provider, a DHT, or a server
 federation — which is what makes the E8 exposure comparison apples-to-
 apples.  Every backend records *who ends up storing what*, feeding the
 exposure reports.
+
+The read side of the protocol has three entry points:
+
+* :meth:`StorageBackend.get` — one blob, raising on failure (the
+  original surface, unchanged);
+* :meth:`StorageBackend.fetch_blob` — one blob *with provenance*
+  (:class:`FetchedBlob`: source, quorum version, degraded flag), which
+  is what the typed :class:`~repro.dosn.results.ReadResult` API reads;
+* :meth:`StorageBackend.get_many` — the batched path: one call for a
+  whole feed's worth of cids, returning exceptions as values so one
+  unreachable replica cannot fail the batch.  The default implementation
+  is a sequential fallback over :meth:`fetch_blob`; the DHT and
+  federation backends override it to coalesce routing per holder
+  (one route / one batch RPC per holder instead of one per cid).
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dosn.provider import CentralProvider, ExposureReport
-from repro.exceptions import StorageError
+from repro.exceptions import ReproError, StorageError
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
+
+
+@dataclass
+class FetchedBlob:
+    """One retrieved blob plus where (and how trustworthily) it came from.
+
+    ``source`` is ``"quorum"`` when a verified quorum read produced the
+    bytes and ``"bare"`` for first-responder/provider reads; the cache
+    layer stamps ``"cache"`` at the API level, never here.  ``degraded``
+    marks a below-quorum verified read
+    (:attr:`repro.storage2.ReplicationConfig.degraded_reads`): the bytes
+    verified, the freshness guarantee did not.
+    """
+
+    blob: bytes
+    source: str = "bare"
+    degraded: bool = False
+    version: Optional[int] = None
 
 
 class StorageBackend(abc.ABC):
@@ -33,6 +66,30 @@ class StorageBackend(abc.ABC):
     @abc.abstractmethod
     def observer_views(self) -> Dict[str, Set[str]]:
         """observer name -> set of content ids it physically stores."""
+
+    def fetch_blob(self, reader: str, cid: str) -> FetchedBlob:
+        """Retrieve one blob with provenance (default: a bare ``get``)."""
+        return FetchedBlob(self.get(reader, cid))
+
+    def get_many(self, reader: str,
+                 cids: Sequence[str]) -> Dict[str, object]:
+        """Batched retrieval: ``cid -> FetchedBlob | ReproError``.
+
+        Exceptions are returned as values (never raised) so a single
+        unavailable cid cannot fail a whole feed's fetch pass.  This
+        default is the sequential fallback every backend satisfies the
+        contract with; overlay-backed backends override it to coalesce
+        lookups per holder.
+        """
+        results: Dict[str, object] = {}
+        for cid in cids:
+            if cid in results:
+                continue
+            try:
+                results[cid] = self.fetch_blob(reader, cid)
+            except ReproError as exc:
+                results[cid] = exc
+        return results
 
 
 class CentralBackend(StorageBackend):
@@ -102,6 +159,42 @@ class DHTBackend(StorageBackend):
         value, _ = self.ring.get(reader, cid)
         return value
 
+    def fetch_blob(self, reader: str, cid: str) -> FetchedBlob:
+        if self.quorum is not None:
+            result = self.quorum.get(reader, cid)
+            return FetchedBlob(result.payload, source="quorum",
+                               degraded=result.degraded,
+                               version=result.version)
+        value, _ = self.ring.get(reader, cid)
+        return FetchedBlob(value)
+
+    def get_many(self, reader: str,
+                 cids: Sequence[str]) -> Dict[str, object]:
+        """Coalesced batch read: one route / batch RPC per holder.
+
+        With a quorum store the per-key holder probes are merged into one
+        ``quorum_read_batch`` RPC per distinct holder; on the legacy ring
+        the per-cid iterative lookups are merged into one route per
+        distinct owner.  Verification semantics per cid are identical to
+        the sequential path.
+        """
+        results: Dict[str, object] = {}
+        if self.quorum is not None:
+            for cid, got in self.quorum.get_many(reader, cids).items():
+                if isinstance(got, Exception):
+                    results[cid] = got
+                else:
+                    results[cid] = FetchedBlob(got.payload, source="quorum",
+                                               degraded=got.degraded,
+                                               version=got.version)
+            return results
+        for cid, got in self.ring.get_many(reader, cids).items():
+            if isinstance(got, Exception):
+                results[cid] = got
+            else:
+                results[cid] = FetchedBlob(got)
+        return results
+
     def observer_views(self) -> Dict[str, Set[str]]:
         views: Dict[str, Set[str]] = {}
         for name, node in self.ring.nodes.items():
@@ -121,6 +214,17 @@ class FederationBackend(StorageBackend):
 
     def get(self, reader: str, cid: str) -> bytes:
         return self.federation.fetch(reader, cid)
+
+    def get_many(self, reader: str,
+                 cids: Sequence[str]) -> Dict[str, object]:
+        """One batched fetch RPC to the reader's home pod for all cids."""
+        results: Dict[str, object] = {}
+        for cid, got in self.federation.fetch_many(reader, cids).items():
+            if isinstance(got, Exception):
+                results[cid] = got
+            else:
+                results[cid] = FetchedBlob(got)
+        return results
 
     def observer_views(self) -> Dict[str, Set[str]]:
         return {name: set(server.content.keys())

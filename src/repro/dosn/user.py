@@ -137,6 +137,35 @@ class DosnUser:
         self.posts_published += 1
         return cid, document
 
+    def reseal_post(self, text: str, tags: Sequence[str],
+                    sequence: int) -> Tuple[str, bytes]:
+        """Re-sign and re-chain an *existing* post (same cid, new bytes).
+
+        Content addressing pins the cid to ``(author, text, sequence)``,
+        so an overwrite cannot change what the address names — but the
+        Schnorr signature is randomized and re-encryption draws a fresh
+        nonce, so the stored bytes do change.  Re-listing the cid on the
+        hash chain is the signed overwrite announcement readers' caches
+        invalidate on; ``posts_published`` is *not* advanced (the
+        sequence is being reused, not extended).
+        """
+        if sequence >= self.posts_published:
+            raise IntegrityError(
+                f"cannot reseal unpublished sequence {sequence} "
+                f"(published so far: {self.posts_published})")
+        with self.tracer.span("crypto.sign", author=self.name) as span:
+            span.add_cost(_crypto_cost("sign", 0))
+            signature = self.identity.signer.sign(
+                _post_signed_bytes(self.name, sequence, text, tags),
+                rng=self.rng)
+        document = json.dumps({
+            "author": self.name, "sequence": sequence, "text": text,
+            "tags": list(tags), "signature": list(signature),
+        }).encode()
+        cid = content_id(self.name, "post", text.encode(), sequence)
+        self.timeline.publish(cid.encode(), rng=self.rng)
+        return cid, document
+
     def protect_document(self, document: bytes) -> bytes:
         """The ACL half of publishing: group-encrypt the sealed document.
 
@@ -253,11 +282,24 @@ class DosnUser:
         return len(new_entries)
 
     def verified_cids(self, author: str) -> List[str]:
-        """Content ids from the author's chain-verified timeline, in order."""
+        """Content ids from the author's chain-verified timeline, in order.
+
+        A re-sealed post lists its cid more than once on the chain
+        (:meth:`reseal_post`); readers want each post once, at its first
+        publication position, so duplicates are dropped keeping first
+        occurrence.  A no-op on chains that never resealed.
+        """
         view = self.views.get(author)
         if view is None:
             return []
-        return [entry.payload.decode() for entry in view.entries]
+        seen: Set[str] = set()
+        cids: List[str] = []
+        for entry in view.entries:
+            cid = entry.payload.decode()
+            if cid not in seen:
+                seen.add(cid)
+                cids.append(cid)
+        return cids
 
     # -- revocation (symmetric-ACL semantics, Section III-B) ------------------------
 

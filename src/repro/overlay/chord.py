@@ -351,6 +351,88 @@ class ChordRing:
         raise StorageError(
             f"key {key!r} unavailable: no reachable replica holds it")
 
+    # -- batched reads (the feed fan-out / cache-warming path) -------------------
+
+    def get_many(self, start: str, keys: Sequence[str]
+                 ) -> Dict[str, object]:
+        """Batched fetch: one route per owner, one RPC per extra holder.
+
+        Keys hashing to the same owner share a single iterative lookup —
+        the route amortizes over the whole group, because successor-list
+        replica sets are a function of the owner alone — and each holder
+        beyond the routed node is asked for *all* of its keys in one
+        ``chord_batch_fetch`` RPC instead of one RPC per key.  Failures
+        come back as exception **values** keyed by cid (a
+        :class:`StorageError` or the routing :class:`LookupError_`), so
+        one unreachable key never fails the batch.  Per-key serving
+        semantics match :meth:`get`: the first live holder in
+        routed-owner-then-replica-set order wins.
+        """
+        results: Dict[str, object] = {}
+        seen: Set[str] = set()
+        groups: Dict[str, List[str]] = {}
+        for key in keys:
+            if key in seen:
+                continue
+            seen.add(key)
+            groups.setdefault(self.owner_of(key), []).append(key)
+        with self.network.tracer.span("chord.get_many", start=start,
+                                      keys=len(seen),
+                                      owners=len(groups)) as span:
+            for owner, group in groups.items():
+                self._get_group(start, owner, group, results)
+            span.set_attr("served",
+                          sum(1 for v in results.values()
+                              if not isinstance(v, Exception)))
+        return results
+
+    def _get_group(self, start: str, owner: str, group: List[str],
+                   results: Dict[str, object]) -> None:
+        """Serve one owner-group of keys over a single route."""
+        routed: Optional[str] = None
+        try:
+            routed = self.lookup(start, group[0]).owner
+        except LookupError_ as exc:
+            if self.channel is None:
+                for key in group:
+                    results[key] = exc
+                return
+            # Resilient mode: routing failed, probe the replica set
+            # directly (the same graceful degradation as single get).
+        anchor = routed if routed is not None else owner
+        candidates = [anchor] + [r for r in self.replica_set(group[0])
+                                 if r != anchor]
+        if self.channel is not None and self.fabric.membership is not None:
+            candidates = self.fabric.membership.order_by_health(
+                start, candidates)
+        pending: Set[str] = set(group)
+        for replica in candidates:
+            if not pending:
+                break
+            node = self.nodes.get(replica)
+            if node is None or not node.online:
+                continue
+            served = [k for k in group if k in pending and k in node.store]
+            if not served:
+                continue
+            if self.channel is not None:
+                ok, _ = self.channel.call(start, replica,
+                                          kind="chord_batch_fetch")
+            elif replica != routed:
+                ok, _ = self.network.rpc(routed, replica,
+                                         kind="chord_batch_fetch")
+            else:
+                ok = True  # the route already landed here; its keys ride free
+            if not ok:
+                continue
+            for key in served:
+                results[key] = node.store[key]
+                pending.discard(key)
+        for key in group:
+            if key in pending:
+                results[key] = StorageError(
+                    f"key {key!r} unavailable: no reachable replica holds it")
+
     # -- incremental protocol (join / stabilize), used by the tests --------------
 
     def join(self, name: str, via: str) -> ChordNode:

@@ -110,6 +110,32 @@ class FederatedNetwork:
                 f"{content_id!r} was not federated to {home!r}")
         return server.content[content_id][1]
 
+    def fetch_many(self, reader: str, content_ids: Sequence[str]
+                   ) -> Dict[str, object]:
+        """Batched read from the reader's home server (one RPC total).
+
+        The whole batch rides a single ``fed_fetch_batch`` RPC — the
+        federation analogue of the per-holder coalescing the DHT does.
+        Ids missing from the home pod come back as
+        :class:`LookupError_` **values** keyed by id (never raised), so
+        one undelivered post cannot fail a feed's fetch pass.
+        """
+        results: Dict[str, object] = {}
+        if not content_ids:
+            return results
+        home = self._home_of(reader)
+        server = self.servers[home]
+        self.network.rpc(reader, home, kind="fed_fetch_batch")
+        for content_id in content_ids:
+            if content_id in results:
+                continue
+            if content_id in server.content:
+                results[content_id] = server.content[content_id][1]
+            else:
+                results[content_id] = LookupError_(
+                    f"{content_id!r} was not federated to {home!r}")
+        return results
+
     def _home_of(self, user: str) -> str:
         try:
             return self.home[user]

@@ -263,58 +263,137 @@ class ReplicatedStore:
                     responses.append((holder, None))
                     continue
                 responses.append((holder, record))
-            verified = [(h, r) for h, r in responses if r is not None]
+            return self._settle(reader, key, responses, rejected, span)
+
+    def _settle(self, reader: str, key: str,
+                responses: List[Tuple[str, Optional[StoredVersion]]],
+                rejected: int, span=None) -> ReadResult:
+        """Winner selection, degraded fallback and read-repair for one key.
+
+        Shared verbatim between :meth:`get` and :meth:`get_many` so the
+        batched path cannot drift from the sequential semantics; only the
+        probe plan (how the responses were gathered) differs between the
+        two.
+        """
+        verified = [(h, r) for h, r in responses if r is not None]
+        if span is not None:
             span.set_attr("verified", len(verified))
             span.set_attr("rejected", rejected)
-            if not verified:
-                if rejected:
-                    raise ReplicaIntegrityError(
-                        f"no holder served a valid copy of {key!r} "
-                        f"({rejected} responses rejected)")
-                raise StorageError(
-                    f"key {key!r} unavailable: no reachable replica "
-                    "holds it")
-            if len(verified) < self.config.r:
-                if self.config.degraded_reads:
-                    # DegradedRead: the quorum is unreachable but at
-                    # least one copy verified — serve it flagged rather
-                    # than failing.  Staleness is possible; tampered
-                    # bytes are not (only verified responses compete).
-                    best_holder, best = max(
-                        verified,
-                        key=lambda pair: (pair[1].version,
-                                          pair[1].record_hash()))
-                    self.metrics.inc("storage.degraded_reads")
+        if not verified:
+            if rejected:
+                raise ReplicaIntegrityError(
+                    f"no holder served a valid copy of {key!r} "
+                    f"({rejected} responses rejected)")
+            raise StorageError(
+                f"key {key!r} unavailable: no reachable replica "
+                "holds it")
+        if len(verified) < self.config.r:
+            if self.config.degraded_reads:
+                # DegradedRead: the quorum is unreachable but at
+                # least one copy verified — serve it flagged rather
+                # than failing.  Staleness is possible; tampered
+                # bytes are not (only verified responses compete).
+                best_holder, best = max(
+                    verified,
+                    key=lambda pair: (pair[1].version,
+                                      pair[1].record_hash()))
+                self.metrics.inc("storage.degraded_reads")
+                if span is not None:
                     span.set_attr("degraded", True)
                     span.set_attr("version", best.version)
-                    return ReadResult(
-                        payload=best.payload, version=best.version,
-                        author=best.author, holder=best_holder,
-                        verified=len(verified), rejected=rejected,
-                        repaired=0, degraded=True)
-                raise StorageError(
-                    f"read quorum for {key!r} not met: {len(verified)} "
-                    f"verified responses, needs R={self.config.r}")
-            best_holder, best = max(
-                verified,
-                key=lambda pair: (pair[1].version, pair[1].record_hash()))
-            repaired = 0
-            if self.config.read_repair:
-                encoded = best.encode()
-                for holder, record in responses:
-                    if record is not None and record.version >= best.version:
-                        continue
-                    ok, _ = self._rpc(reader, holder, "read_repair")
-                    if ok and self.store_at(holder, key, encoded):
-                        repaired += 1
-                        self.metrics.inc("storage.read_repairs")
+                return ReadResult(
+                    payload=best.payload, version=best.version,
+                    author=best.author, holder=best_holder,
+                    verified=len(verified), rejected=rejected,
+                    repaired=0, degraded=True)
+            raise StorageError(
+                f"read quorum for {key!r} not met: {len(verified)} "
+                f"verified responses, needs R={self.config.r}")
+        best_holder, best = max(
+            verified,
+            key=lambda pair: (pair[1].version, pair[1].record_hash()))
+        repaired = 0
+        if self.config.read_repair:
+            encoded = best.encode()
+            for holder, record in responses:
+                if record is not None and record.version >= best.version:
+                    continue
+                ok, _ = self._rpc(reader, holder, "read_repair")
+                if ok and self.store_at(holder, key, encoded):
+                    repaired += 1
+                    self.metrics.inc("storage.read_repairs")
+        if span is not None:
             span.set_attr("version", best.version)
             span.set_attr("repaired", repaired)
-            return ReadResult(
-                payload=best.payload, version=best.version,
-                author=best.author, holder=best_holder,
-                verified=len(verified), rejected=rejected,
-                repaired=repaired)
+        return ReadResult(
+            payload=best.payload, version=best.version,
+            author=best.author, holder=best_holder,
+            verified=len(verified), rejected=rejected,
+            repaired=repaired)
+
+    def get_many(self, reader: str, keys) -> Dict[str, object]:
+        """Batched verified reads: one probe RPC per holder, not per key.
+
+        The verification, winner-selection, degraded-fallback and
+        read-repair semantics per key are exactly :meth:`get`'s (both run
+        through :meth:`_settle`); what the batch changes is the wire
+        plan — every live holder is probed **once** with a
+        ``quorum_read_batch`` RPC covering all the keys it holds, instead
+        of once per key.  Returns ``key -> ReadResult | ReproError``:
+        failures come back as exception values, so one short quorum
+        cannot fail the whole batch.
+        """
+        results: Dict[str, object] = {}
+        ordered: List[str] = []
+        for key in keys:
+            if key not in results:
+                results[key] = None  # placeholder; settled below
+                ordered.append(key)
+        membership = getattr(self.fabric, "membership", None)
+        want: Dict[str, List[str]] = {}   # holder -> keys it should serve
+        for key in ordered:
+            holders = self.holders_of(key)
+            if membership is not None:
+                holders = membership.order_by_health(reader, holders)
+            for holder in holders:
+                node = self.ring.nodes.get(holder)
+                if node is None or key not in node.store:
+                    continue  # crashed holders lost the key with their state
+                want.setdefault(holder, []).append(key)
+        with self.network.tracer.span("storage2.get_many", reader=reader,
+                                      keys=len(ordered),
+                                      holders=len(want)) as span:
+            responses: Dict[str, List[Tuple[str, Optional[StoredVersion]]]]
+            responses = {key: [] for key in ordered}
+            rejected: Dict[str, int] = {key: 0 for key in ordered}
+            reachable = 0
+            for holder, holder_keys in want.items():
+                ok, _ = self._rpc(reader, holder, "quorum_read_batch")
+                if not ok:
+                    continue
+                reachable += 1
+                for key in holder_keys:
+                    try:
+                        record = self._verify(
+                            key, self.serve(holder, reader, key))
+                    except (IntegrityError, CryptoError):
+                        rejected[key] += 1
+                        self.metrics.inc("storage.byzantine_rejects")
+                        responses[key].append((holder, None))
+                        continue
+                    responses[key].append((holder, record))
+            span.set_attr("reachable", reachable)
+            settled = 0
+            for key in ordered:
+                try:
+                    results[key] = self._settle(reader, key,
+                                                responses[key],
+                                                rejected[key])
+                    settled += 1
+                except (StorageError, ReplicaIntegrityError) as exc:
+                    results[key] = exc
+            span.set_attr("served", settled)
+        return results
 
     def read_any(self, reader: str, key: str) -> bytes:
         """The *bare* read path: trust the first holder that answers.

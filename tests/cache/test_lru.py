@@ -1,0 +1,69 @@
+"""LRUMap: the cache tier's deterministic eviction mechanism."""
+
+import pytest
+
+from repro.cache import LRUMap
+from repro.exceptions import SimulationError
+
+
+class TestLRUMap:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            LRUMap(0)
+        with pytest.raises(SimulationError):
+            LRUMap(-3)
+
+    def test_roundtrip_and_contains(self):
+        lru = LRUMap(2)
+        assert lru.put("a", 1) is None
+        assert lru.get("a") == 1
+        assert "a" in lru and "b" not in lru
+        assert lru.get("b") is None
+        assert len(lru) == 1
+
+    def test_eviction_is_least_recently_used(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        evicted = lru.put("c", 3)
+        assert evicted == ("a", 1)
+        assert list(lru) == ["b", "c"]
+        assert lru.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # a becomes most-recent; b is now the victim
+        assert lru.put("c", 3) == ("b", 2)
+        assert "a" in lru
+
+    def test_peek_does_not_refresh_recency(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.peek("a") == 1
+        assert lru.put("c", 3) == ("a", 1)
+
+    def test_put_existing_key_refreshes_without_evicting(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.put("a", 10) is None  # update, not growth
+        assert lru.get("a") == 10
+        assert lru.put("c", 3) == ("b", 2)
+
+    def test_remove_is_not_counted_as_eviction(self):
+        lru = LRUMap(2)
+        lru.put("a", 1)
+        assert lru.remove("a") == 1
+        assert lru.remove("ghost") is None
+        assert lru.evictions == 0
+        assert len(lru) == 0
+
+    def test_iteration_orders_lru_first(self):
+        lru = LRUMap(3)
+        for key in ("a", "b", "c"):
+            lru.put(key, key)
+        lru.get("a")
+        assert list(lru) == ["b", "c", "a"]

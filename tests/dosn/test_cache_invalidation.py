@@ -1,0 +1,141 @@
+"""Cache invalidation end-to-end: reposts, chain heads, Byzantine holders.
+
+The cache's safety claim is that a hit is never served on stale
+evidence: an author re-publishing a cid moves their signed chain head
+and re-lists the cid, which every reader's next lookup detects.  These
+tests drive that rule through the full network — including against a
+StaleServe replica that keeps serving the pre-repost bytes.
+"""
+
+import pytest
+
+from repro.cache import CacheConfig
+from repro.dosn import DosnConfig, DosnNetwork
+from repro.exceptions import OverlayError
+from repro.fabric import Fabric
+from repro.faults import FaultPlan, StaleServe
+from repro.storage2 import ReplicationConfig
+
+
+def quorum_config(**cache_overrides):
+    return DosnConfig(architecture="dht", seed=11,
+                      replication=ReplicationConfig(n=3, r=2, w=2),
+                      cache=CacheConfig(**cache_overrides))
+
+
+def small_net(config=None, fabric=None):
+    net = DosnNetwork(config=config or DosnConfig(
+        architecture="dht", seed=11, cache=CacheConfig()), fabric=fabric)
+    for name in ("alice", "bob", "carol"):
+        net.add_user(name)
+    net.befriend("alice", "bob")
+    return net
+
+
+class TestRepostInvalidation:
+    def test_repost_keeps_the_content_id(self):
+        net = small_net()
+        cid = net.post("alice", "stable address")
+        assert net.repost("alice", cid) == cid
+
+    def test_repost_of_unknown_cid_rejected(self):
+        net = small_net()
+        with pytest.raises(OverlayError):
+            net.repost("alice", "no-such-cid")
+
+    def test_repost_by_non_author_rejected(self):
+        net = small_net()
+        cid = net.post("alice", "mine")
+        with pytest.raises(OverlayError):
+            net.repost("bob", cid)
+
+    def test_repost_evicts_stale_cached_copy(self):
+        net = small_net()
+        cid = net.post("alice", "v1 bytes")
+        assert net.read("bob", "alice", cid).source in ("quorum", "bare")
+        assert net.read("bob", "alice", cid).source == "cache"
+        net.repost("alice", cid)  # same cid, re-sealed bytes, head moved
+        result = net.read("bob", "alice", cid)
+        assert result.source in ("quorum", "bare"), (
+            "the cached copy predates the repost and must not be served")
+        assert result.post.text == "v1 bytes"
+        assert net.cache.invalidations >= 1
+        # the re-fetched copy is cached and fresh again
+        assert net.read("bob", "alice", cid).source == "cache"
+
+    def test_unrelated_posts_survive_a_repost(self):
+        net = small_net()
+        keep = net.post("alice", "keep me")
+        churn = net.post("alice", "churn me")
+        net.read("bob", "alice", keep)
+        net.read("bob", "alice", churn)
+        net.repost("alice", churn)
+        # 'keep' was not re-listed: its entry re-pins and still hits
+        assert net.read("bob", "alice", keep).source == "cache"
+        assert net.read("bob", "alice", churn).source in ("quorum", "bare")
+
+    def test_warm_feed_refetches_only_the_reposted_cid(self):
+        net = small_net()
+        net.post("alice", "a1")
+        reposted = net.post("alice", "a2")
+        net.feed("bob")
+        net.repost("alice", reposted)
+        warm = net.feed("bob")
+        assert warm.clean
+        sources = {item.post.content_id: item.result.source
+                   for item in warm.items}
+        assert sources.pop(reposted) in ("quorum", "bare")
+        assert set(sources.values()) == {"cache"}
+
+
+class TestStaleServeByzantineHolder:
+    """A Byzantine replica serves the oldest version it ever stored.
+
+    With quorum replication the winner is still the newest verified
+    version; the cache must end up pinned to it, never to the stale
+    bytes the faulty holder keeps pushing.
+    """
+
+    def _net_with_stale_holder(self):
+        config = quorum_config()
+        net = small_net(config=config)
+        cid = net.post("alice", "reseal target")
+        holders = set(net.storage.placements[cid])
+        plan = FaultPlan(seed=13).add(StaleServe(holders={sorted(holders)[0]}))
+        fabric = Fabric.create(seed=11, faults=plan)
+        net2 = DosnNetwork(config=config, fabric=fabric)
+        for name in ("alice", "bob", "carol"):
+            net2.add_user(name)
+        net2.befriend("alice", "bob")
+        cid2 = net2.post("alice", "reseal target")
+        assert cid2 == cid  # same seed, same content, same address
+        return net2, cid2
+
+    def test_post_repost_read_serves_newest_version(self):
+        net, cid = self._net_with_stale_holder()
+        first = net.read("bob", "alice", cid)
+        assert first.source == "quorum" and first.post.text == "reseal target"
+        net.repost("alice", cid)
+        result = net.read("bob", "alice", cid)
+        assert result.source == "quorum", "stale cache entry must be evicted"
+        assert result.post.text == "reseal target"
+        assert net.cache.invalidations >= 1
+        # the quorum winner after the repost is version 2 — the cache
+        # must be pinned to it, not to the StaleServe holder's copy
+        entry = net.cache.lookup(
+            "bob", "alice", cid,
+            net._view_of("bob", "alice"))
+        assert entry is not None and entry.version == 2
+
+    def test_zero_stale_bytes_served_from_cache(self):
+        net, cid = self._net_with_stale_holder()
+        net.read("bob", "alice", cid)
+        net.repost("alice", cid)
+        for _ in range(3):
+            result = net.read("bob", "alice", cid)
+            assert result.verified and not result.degraded
+            assert result.post.content_id == cid
+        # every post-repost cache hit carries version-2 evidence
+        entry = net.cache.lookup("bob", "alice", cid,
+                                 net._view_of("bob", "alice"))
+        assert entry is not None and entry.version == 2

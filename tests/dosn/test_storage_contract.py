@@ -5,13 +5,18 @@ same interface semantics — roundtripping blobs, failing on unknown ids
 with the repo's storage exception family, and reporting observer views
 consistent with what was actually stored — or the E8 exposure comparison
 stops being apples-to-apples.
+
+The contract suite runs every read assertion through **both** read
+paths — the original single :meth:`StorageBackend.get` and the batched
+:meth:`StorageBackend.get_many` — so the per-holder coalescing overrides
+cannot drift from the sequential semantics.
 """
 
 import pytest
 
 from repro.dosn.provider import CentralProvider
-from repro.dosn.storage import (CentralBackend, DHTBackend,
-                                FederationBackend, LocalBackend)
+from repro.dosn.storage import (CentralBackend, DHTBackend, FederationBackend,
+                                FetchedBlob, LocalBackend)
 from repro.exceptions import ReproError, StorageError
 from repro.fabric import Fabric
 from repro.overlay.chord import ChordRing
@@ -65,23 +70,44 @@ BACKENDS = {
 }
 
 
+def _read_single(backend, reader, cid):
+    return backend.get(reader, cid)
+
+
+def _read_batched(backend, reader, cid):
+    got = backend.get_many(reader, [cid])[cid]
+    if isinstance(got, Exception):
+        raise got
+    assert isinstance(got, FetchedBlob)
+    return got.blob
+
+
+#: Both read entry points must satisfy the same contract.
+READ_PATHS = {"single": _read_single, "batched": _read_batched}
+
+
 @pytest.fixture(params=sorted(BACKENDS))
 def backend(request):
     return BACKENDS[request.param]()
 
 
+@pytest.fixture(params=sorted(READ_PATHS))
+def read(request):
+    return READ_PATHS[request.param]
+
+
 class TestStorageBackendContract:
-    def test_put_get_roundtrip(self, backend):
+    def test_put_get_roundtrip(self, backend, read):
         backend.put("alice", "cid-1", b"hello", recipients=["bob"])
-        assert backend.get("bob", "cid-1") == b"hello"
+        assert read(backend, "bob", "cid-1") == b"hello"
 
-    def test_reader_can_be_the_author(self, backend):
+    def test_reader_can_be_the_author(self, backend, read):
         backend.put("alice", "cid-2", b"mine", recipients=[])
-        assert backend.get("alice", "cid-2") == b"mine"
+        assert read(backend, "alice", "cid-2") == b"mine"
 
-    def test_unknown_cid_raises_storage_family(self, backend):
+    def test_unknown_cid_raises_storage_family(self, backend, read):
         with pytest.raises(ReproError):
-            backend.get("alice", "no-such-cid")
+            read(backend, "alice", "no-such-cid")
 
     def test_observer_views_cover_stored_content(self, backend):
         backend.put("alice", "cid-4", b"blob", recipients=["bob", "carol"])
@@ -95,19 +121,82 @@ class TestStorageBackendContract:
         for stored in backend.observer_views().values():
             assert stored <= {"cid-5"}
 
-    def test_overwrite_returns_newest_version(self, backend):
+    def test_overwrite_returns_newest_version(self, backend, read):
         """Two puts under one cid: every reader sees the second payload."""
         backend.put("alice", "cid-v", b"version-1", recipients=["bob"])
         backend.put("alice", "cid-v", b"version-2", recipients=["bob"])
         for reader in USERS:
-            assert backend.get(reader, "cid-v") == b"version-2"
+            assert read(backend, reader, "cid-v") == b"version-2"
 
-    def test_overwrite_is_repeatable(self, backend):
+    def test_overwrite_is_repeatable(self, backend, read):
         """Overwriting N times always lands on the last payload."""
         for i in range(4):
             backend.put("alice", "cid-w", f"rev-{i}".encode(),
                         recipients=["bob"])
-        assert backend.get("bob", "cid-w") == b"rev-3"
+        assert read(backend, "bob", "cid-w") == b"rev-3"
+
+
+class TestBatchedReads:
+    """get_many-specific semantics beyond single-read parity."""
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_batch_matches_sequential(self, name):
+        backend = BACKENDS[name]()
+        cids = [f"cid-{i}" for i in range(6)]
+        for i, cid in enumerate(cids):
+            backend.put("alice", cid, f"payload-{i}".encode(),
+                        recipients=["bob"])
+        got = backend.get_many("bob", cids)
+        assert set(got) == set(cids)
+        for cid in cids:
+            assert got[cid].blob == backend.get("bob", cid)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_failures_are_values_not_raises(self, name):
+        """One missing cid must not fail the rest of the batch."""
+        backend = BACKENDS[name]()
+        backend.put("alice", "cid-ok", b"fine", recipients=["bob"])
+        got = backend.get_many("bob", ["cid-ok", "cid-ghost"])
+        assert got["cid-ok"].blob == b"fine"
+        assert isinstance(got["cid-ghost"], ReproError)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_duplicate_cids_collapse(self, name):
+        backend = BACKENDS[name]()
+        backend.put("alice", "cid-d", b"once", recipients=["bob"])
+        got = backend.get_many("bob", ["cid-d", "cid-d", "cid-d"])
+        assert list(got) == ["cid-d"]
+
+    def test_quorum_batch_carries_provenance(self):
+        backend = _dht_quorum()
+        backend.put("alice", "cid-p", b"v1", recipients=[])
+        backend.put("alice", "cid-p", b"v2", recipients=[])
+        got = backend.get_many("bob", ["cid-p"])["cid-p"]
+        assert (got.source, got.version, got.degraded) == ("quorum", 2, False)
+        single = backend.fetch_blob("bob", "cid-p")
+        assert (single.source, single.version) == ("quorum", 2)
+
+    @pytest.mark.parametrize("factory", [_dht, _dht_quorum, _federation],
+                             ids=["dht", "dht_quorum", "federation"])
+    def test_batch_sends_fewer_messages(self, factory):
+        """The point of the batch: coalesced routing / per-holder RPCs."""
+        backend = factory()
+        network = (backend.ring.network if hasattr(backend, "ring")
+                   else backend.federation.network)
+        cids = [f"cid-{i}" for i in range(8)]
+        for cid in cids:
+            backend.put("alice", cid, b"x", recipients=["bob", "carol"])
+        before = network.stats.messages
+        for cid in cids:
+            backend.get("bob", cid)
+        sequential = network.stats.messages - before
+        before = network.stats.messages
+        got = backend.get_many("bob", cids)
+        batched = network.stats.messages - before
+        assert not any(isinstance(v, Exception) for v in got.values())
+        assert batched < sequential, (
+            f"batched read cost {batched} messages vs {sequential} "
+            "sequential — coalescing bought nothing")
 
 
 class TestDHTReplicaObserverViews:

@@ -156,8 +156,10 @@ class TestDosnNetwork:
     def test_post_read_roundtrip(self, arch):
         net = small_net(architecture=arch)
         cid = net.post("alice", "hello world")
-        post = net.read("bob", "alice", cid)
-        assert post.text == "hello world"
+        result = net.read("bob", "alice", cid)
+        assert result.post.text == "hello world"
+        assert result.verified and not result.degraded
+        assert result.source in ("quorum", "bare")
 
     def test_unknown_architecture(self):
         with pytest.raises(OverlayError):

@@ -77,20 +77,23 @@ class TestDeprecations:
             backend = DHTBackend(ring, channel=channel)
         assert backend.ring.channel is channel
 
-    def test_dosn_loose_kwargs_warn(self):
-        with pytest.warns(ReproDeprecationWarning):
-            net = DosnNetwork(architecture="local", seed=1,
-                              encrypt_content=False)
-        assert net.config.encrypt_content is False
+    def test_dosn_loose_kwargs_removed(self):
+        # The one-release deprecation window for the loose constructor
+        # kwargs is over: DosnConfig is the only spelling now.
+        with pytest.raises(TypeError, match="unexpected"):
+            DosnNetwork(architecture="local", seed=1,
+                        encrypt_content=False)
+        with pytest.raises(TypeError, match="unexpected"):
+            DosnNetwork(config=DosnConfig(), level="TOY")
 
     def test_dosn_unknown_kwarg_is_an_error(self):
         with pytest.raises(TypeError, match="unexpected"):
             DosnNetwork(architecture="local", replicas=3)
 
-    def test_dosn_config_plus_legacy_kwargs_rejected(self):
-        with pytest.warns(ReproDeprecationWarning):
-            with pytest.raises(TypeError):
-                DosnNetwork(config=DosnConfig(), level="TOY")
+    def test_dosn_config_still_spells_the_old_knobs(self):
+        net = DosnNetwork(config=DosnConfig(architecture="local",
+                                            encrypt_content=False))
+        assert net.config.encrypt_content is False
 
 
 class TestDosnConfig:

@@ -96,7 +96,7 @@ class TestDosnThroughStack:
         net.add_users(["alice", "bob"])
         net.befriend("alice", "bob")
         cid = net.post("alice", "stack-routed post", tags=("x",))
-        post = net.read("bob", "alice", cid)
+        post = net.read("bob", "alice", cid).post
         assert post.text == "stack-routed post"
         report = net.feed("bob")
         assert report.clean

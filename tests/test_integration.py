@@ -50,7 +50,7 @@ class TestSocialWorkloadOnEveryArchitecture:
         checked = 0
         for cid, author in list(cids.items())[:10]:
             for friend in list(net.users[author].friends)[:2]:
-                post = net.read(friend, author, cid)
+                post = net.read(friend, author, cid).post
                 assert post.author == author
                 checked += 1
         assert checked > 0
