@@ -103,7 +103,11 @@ def _chord_cell(burst_rate: float, partitioned: bool, policy: str):
         except (LookupError_, StorageError):
             pass
     sim.run(until=FAULT_END)
-    stats = net.stats
+    # summary() rolls every failure cause together — timeouts AND
+    # corrupted responses — so the resilience table cannot silently
+    # under-count a cause (this plan injects no corruption; the column
+    # proving that is part of the accounting).
+    summary = net.stats.summary()
     p50 = statistics.median(latencies) if latencies else float("nan")
     p99 = (sorted(latencies)[max(0, int(0.99 * len(latencies)) - 1)]
            if latencies else float("nan"))
@@ -111,13 +115,15 @@ def _chord_cell(burst_rate: float, partitioned: bool, policy: str):
         "success": successes / QUERIES,
         "p50": p50,
         "p99": p99,
-        "msgs_per_query": stats.messages / QUERIES,
-        "retries": stats.retries,
-        "breaker_trips": stats.breaker_trips,
-        "fastfails": stats.breaker_fastfails,
-        "hedges": stats.hedges,
-        "fault_drops": stats.fault_drops,
-        "timeouts": stats.timeouts,
+        "msgs_per_query": summary["messages"] / QUERIES,
+        "retries": summary["retries"],
+        "breaker_trips": summary["breaker_trips"],
+        "fastfails": summary["breaker_fastfails"],
+        "hedges": summary["hedges"],
+        "fault_drops": summary["fault_drops"],
+        "timeouts": summary["timeouts"],
+        "corrupted": summary["corrupted"],
+        "failures": summary["failures"],
     }
 
 
@@ -169,17 +175,20 @@ def test_fault_intensity_vs_policy(benchmark):
     counter_rows = [
         (label, policy, cell["retries"], cell["breaker_trips"],
          cell["fastfails"], cell["hedges"], cell["fault_drops"],
-         cell["timeouts"])
+         cell["timeouts"], cell["corrupted"])
         for (label, policy), cell in cells.items() if policy != "bare"]
     report_table(
         "E12b_resilience_counters",
         "E12b — what the resilience layer did (per cell)",
         ["Faults", "Policy", "Retries", "Breaker trips", "Fast-fails",
-         "Hedged reads", "Fault drops", "Timeouts"],
+         "Hedged reads", "Fault drops", "Timeouts", "Corrupted"],
         counter_rows,
         note=("Breaker fast-fails replace repeated timeouts against dead "
               "destinations; hedged reads are what keeps partitioned "
-              "content reachable via replicas."))
+              "content reachable via replicas.  Corrupted counts garbled "
+              "responses (zero here: this plan injects no corruption) so "
+              "every failure cause in NetworkStats.summary() is "
+              "accounted."))
 
 
 def test_headline_cell_deterministic(benchmark):

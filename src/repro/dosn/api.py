@@ -142,6 +142,11 @@ class DosnConfig:
     #: (the default) keeps every read cold and every legacy code path —
     #: including RNG draws and span order — untouched.
     cache: Optional[CacheConfig] = None
+    #: account fan-out latency as the concurrent critical path (quorum
+    #: probes, hedged fetches, ping-req chains overlap) instead of the
+    #: legacy serial sum.  Message/byte counts are unchanged; ``False``
+    #: keeps every committed table byte-identical.
+    concurrent: bool = False
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -187,7 +192,8 @@ class DosnNetwork:
                 seed=config.seed,
                 tracing=config.tracing or config.wall_clock,
                 wall_clock=config.wall_clock,
-                resilient=config.resilient)
+                resilient=config.resilient,
+                concurrent=config.concurrent)
         self.fabric = fabric
         self.sim = fabric.sim
         self.network = fabric.network

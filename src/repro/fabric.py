@@ -75,16 +75,20 @@ class Fabric:
                tracing: bool = False, wall_clock: bool = False,
                resilient: bool = False,
                retry: Optional[RetryPolicy] = None,
-               breaker: Optional[CircuitBreaker] = None) -> "Fabric":
+               breaker: Optional[CircuitBreaker] = None,
+               concurrent: bool = False) -> "Fabric":
         """Build a full fabric from a seed.
 
         ``tracing=True`` installs a real :class:`~repro.obs.trace.Tracer`
         (``wall_clock=True`` additionally records segregated wall-clock
         span durations).  ``resilient=True`` — or passing ``retry`` /
         ``breaker`` — wires a :class:`ReliableChannel` that the overlays
-        and backends pick up automatically.
+        and backends pick up automatically.  ``concurrent=True`` switches
+        the fan-out layers to critical-path latency accounting (see
+        :mod:`repro.overlay.simulator`); off, every combinator reports
+        the legacy serial sum, byte-identical to committed tables.
         """
-        sim = Simulator(seed)
+        sim = Simulator(seed, concurrent=concurrent)
         tracer = Tracer(lambda: sim.now, wall_clock=wall_clock) if tracing \
             else NOOP_TRACER
         metrics = MetricsRegistry()

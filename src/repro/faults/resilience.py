@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.exceptions import SimulationError
+from repro.overlay.simulator import SimFuture
 
 
 @dataclass
@@ -122,10 +123,16 @@ class ReliableChannel:
     """
 
     def __init__(self, network, policy: Optional[RetryPolicy] = None,
-                 breaker: Optional[CircuitBreaker] = None) -> None:
+                 breaker: Optional[CircuitBreaker] = None,
+                 hedge_delay: float = 0.05) -> None:
         self.network = network
         self.policy = policy or RetryPolicy()
         self.breaker = breaker
+        #: stagger between hedge launches under the concurrent latency
+        #: model (:attr:`Simulator.concurrent`): candidate ``i`` launches
+        #: at virtual offset ``i * hedge_delay``, and launching stops as
+        #: soon as an earlier request has already succeeded.
+        self.hedge_delay = hedge_delay
         #: the fabric's :class:`repro.membership.SwimMembership`, set by
         #: :meth:`repro.fabric.Fabric.attach_membership`.  When the
         #: *source* of a call has a membership view, that view replaces
@@ -215,6 +222,22 @@ class ReliableChannel:
             span.set_attr("outcome", outcome)
             return (False, elapsed)
 
+    def call_issue(self, src: str, dst: str, kind: str = "rpc",
+                   payload_size: int = 64) -> SimFuture:
+        """Issue one logical call as a completion token.
+
+        The call's retries and backoffs remain internally sequential
+        (each retry depends on the previous timeout); what the future
+        adds is the ability to overlap *independent* calls: issue one per
+        destination and combine with
+        :func:`repro.overlay.simulator.quorum_of` /
+        :func:`~repro.overlay.simulator.gather`.  Draw order is exactly
+        a sequential loop's.
+        """
+        ok, elapsed = self.call(src, dst, kind=kind,
+                                payload_size=payload_size)
+        return self.network.sim.future(elapsed, value=(ok, elapsed), ok=ok)
+
     def hedged(self, src: str, dsts: Sequence[str], kind: str = "rpc",
                payload_size: int = 64) -> Tuple[bool, Optional[str], float]:
         """Race a request across replica holders; first success wins.
@@ -226,6 +249,14 @@ class ReliableChannel:
         by health score first — healthy holders are probed before
         suspects, confirmed-dead ones last (still probed: on this
         last-resort path a false confirmation must not lose the read).
+
+        Latency model: with :attr:`Simulator.concurrent` unset the legacy
+        sequential semantics apply byte-for-byte — candidates are probed
+        one after another and ``elapsed`` sums every attempt.  With it
+        set this is *true hedging*: candidate ``i`` launches at offset
+        ``i * hedge_delay``, launching stops once an earlier request has
+        already succeeded, the earliest success wins and cancels the
+        losers, and ``elapsed`` is the winner's completion offset.
         """
         stats = self.network.stats
         with self.network.tracer.span("channel.hedged", kind=kind,
@@ -233,6 +264,9 @@ class ReliableChannel:
             view = self._view_of(src)
             if view is not None:
                 dsts = self.membership.order_by_health(src, dsts)
+            if self.network.sim.concurrent:
+                return self._hedged_concurrent(src, dsts, kind,
+                                               payload_size, span, view)
             elapsed = 0.0
             for i, dst in enumerate(dsts):
                 if i > 0:
@@ -260,3 +294,54 @@ class ReliableChannel:
                     self._export_breaker_state(dst)
             span.set_attr("winner", None)
             return (False, None, elapsed)
+
+    def _hedged_concurrent(self, src: str, dsts: Sequence[str], kind: str,
+                           payload_size: int, span, view
+                           ) -> Tuple[bool, Optional[str], float]:
+        """True hedging on the concurrent clock (see :meth:`hedged`)."""
+        stats = self.network.stats
+        launched = []  # (launch offset, dst, future), launch order
+        for i, dst in enumerate(dsts):
+            launch_at = i * self.hedge_delay
+            first_win = min((offset + future.latency
+                             for offset, _dst, future in launched
+                             if future.ok), default=None)
+            if first_win is not None and first_win <= launch_at:
+                break  # an earlier request won before this hedge fires
+            if i > 0:
+                stats.hedges += 1
+            now = self.network.sim.now
+            if view is None and self.breaker is not None \
+                    and not self.breaker.allow(dst, now):
+                stats.breaker_fastfails += 1
+                self._export_breaker_state(dst)
+                continue
+            future = self.network.rpc_issue(src, dst, kind=kind,
+                                            payload_size=payload_size)
+            launched.append((launch_at, dst, future))
+            if future.ok:
+                if view is not None:
+                    view.observe_contact(dst, now)
+                elif self.breaker is not None:
+                    self.breaker.record_success(dst)
+                    self._export_breaker_state(dst)
+            elif view is None and self.breaker is not None:
+                if self.breaker.record_failure(dst, now):
+                    stats.breaker_trips += 1
+                self._export_breaker_state(dst)
+        successes = sorted(
+            (offset + future.latency, future.seq, dst, future)
+            for offset, dst, future in launched if future.ok)
+        if successes:
+            elapsed, _seq, winner, winning = successes[0]
+            for _offset, _dst, future in launched:
+                if future is not winning:
+                    future.cancel()
+            span.set_attr("winner", winner)
+            span.settle_cost(elapsed)
+            return (True, winner, elapsed)
+        elapsed = max((offset + future.latency
+                       for offset, _dst, future in launched), default=0.0)
+        span.set_attr("winner", None)
+        span.settle_cost(elapsed)
+        return (False, None, elapsed)

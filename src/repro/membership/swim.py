@@ -27,6 +27,7 @@ confirmations gossip cluster-wide within a few periods, and flagged in
 
 from __future__ import annotations
 
+import contextlib
 import math
 import random as _random
 from dataclasses import dataclass
@@ -463,26 +464,44 @@ class SwimMembership:
             return False
         proxies = self._rng.sample(candidates, k)
         reached = False
-        for proxy in proxies:
-            self.metrics.inc("membership.indirect_chains")
-            ok, _ = self.network.rpc(member, proxy, kind="swim_pingreq")
-            if not ok:
-                continue
-            self._contact(member, proxy, now)
-            if not self.network.is_online(proxy):
-                continue  # the proxy answered the request but then left
-            ok, _ = self.network.rpc(proxy, target, kind="swim_ping")
-            if not ok:
-                continue
-            reached = True
-            # The proxy heard the target; its relayed ack is first-hand
-            # evidence for the proxy and relayed evidence for the member.
-            target_inc = self.views[target].self_incarnation
-            proxy_view = self.views[proxy]
-            proxy_view.direct_evidence(target, target_inc, now)
-            proxy_view.enqueue(target, ALIVE, target_inc, now)
-            view.direct_evidence(target, target_inc, now)
-            view.enqueue(target, ALIVE, target_inc, now)
+        # The k chains run concurrently in real SWIM: under the
+        # concurrent latency model each chain is a serial sub-span (its
+        # two RPCs are dependent) and the chains roll up as max.  Spans
+        # are only opened in that mode so off-mode traces stay
+        # byte-identical; the RPCs themselves are issued identically
+        # either way.
+        concurrent = self.network.sim.concurrent
+        fanout = (self.network.tracer.span("swim.indirect", parallel=True,
+                                           target=target)
+                  if concurrent else contextlib.nullcontext(None))
+        with fanout:
+            for proxy in proxies:
+                chain = (self.network.tracer.span("swim.pingreq.chain",
+                                                  proxy=proxy)
+                         if concurrent else contextlib.nullcontext(None))
+                with chain:
+                    self.metrics.inc("membership.indirect_chains")
+                    ok, _ = self.network.rpc(member, proxy,
+                                             kind="swim_pingreq")
+                    if not ok:
+                        continue
+                    self._contact(member, proxy, now)
+                    if not self.network.is_online(proxy):
+                        continue  # the proxy answered, then left
+                    ok, _ = self.network.rpc(proxy, target,
+                                             kind="swim_ping")
+                    if not ok:
+                        continue
+                    reached = True
+                    # The proxy heard the target; its relayed ack is
+                    # first-hand evidence for the proxy and relayed
+                    # evidence for the member.
+                    target_inc = self.views[target].self_incarnation
+                    proxy_view = self.views[proxy]
+                    proxy_view.direct_evidence(target, target_inc, now)
+                    proxy_view.enqueue(target, ALIVE, target_inc, now)
+                    view.direct_evidence(target, target_inc, now)
+                    view.enqueue(target, ALIVE, target_inc, now)
         return reached
 
     def _contact(self, a: str, b: str, now: float) -> None:

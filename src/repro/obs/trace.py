@@ -34,13 +34,23 @@ __all__ = ["NOOP_TRACER", "NoopTracer", "Span", "Tracer"]
 
 
 class Span:
-    """One traced operation: a name, virtual-time bounds, and attributes."""
+    """One traced operation: a name, virtual-time bounds, and attributes.
+
+    A span opened with ``parallel=True`` models a fan-out whose children
+    overlap on the virtual clock: finished children contribute the
+    **max** of their costs instead of the sum (message/byte counters are
+    network statistics and still add — only latency attribution changes).
+    :meth:`settle_cost` overrides the roll-up entirely with an exact
+    critical-path value, e.g. a quorum's R-th completion.
+    """
 
     __slots__ = ("name", "span_id", "parent_id", "start", "end", "cost",
-                 "attrs", "wall_ns", "_tracer", "_wall_start")
+                 "attrs", "wall_ns", "parallel", "_child_max", "_settled",
+                 "_tracer", "_wall_start")
 
     def __init__(self, name: str, span_id: int, parent_id: Optional[int],
-                 start: float, tracer: "Tracer") -> None:
+                 start: float, tracer: "Tracer",
+                 parallel: bool = False) -> None:
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
@@ -53,6 +63,10 @@ class Span:
         #: profiles wall time — exporters must keep this out of the
         #: deterministic output
         self.wall_ns: Optional[int] = None
+        #: children overlap: they roll up as max, not sum
+        self.parallel = parallel
+        self._child_max: float = 0.0
+        self._settled = False
         self._tracer = tracer
         self._wall_start: Optional[int] = None
 
@@ -64,6 +78,17 @@ class Span:
     def add_cost(self, seconds: float) -> "Span":
         """Attribute ``seconds`` of accounted virtual time to this span."""
         self.cost += seconds
+        return self
+
+    def settle_cost(self, seconds: float) -> "Span":
+        """Pin the span's cost to an exact critical-path value.
+
+        Replaces whatever children rolled up (and suppresses any pending
+        parallel roll-up) — used by quorum consumers whose settle point
+        is the R-th completion, which neither sum nor max expresses.
+        """
+        self.cost = seconds
+        self._settled = True
         return self
 
     def __enter__(self) -> "Span":
@@ -92,10 +117,15 @@ class _NoopSpan:
     wall_ns = None
     attrs: Dict[str, Any] = {}
 
+    parallel = False
+
     def set_attr(self, key: str, value: Any) -> "_NoopSpan":
         return self
 
     def add_cost(self, seconds: float) -> "_NoopSpan":
+        return self
+
+    def settle_cost(self, seconds: float) -> "_NoopSpan":
         return self
 
     def __enter__(self) -> "_NoopSpan":
@@ -114,7 +144,7 @@ class NoopTracer:
     enabled = False
 
     def span(self, name: str, parent: Optional[int] = None,
-             **attrs: Any) -> _NoopSpan:
+             parallel: bool = False, **attrs: Any) -> _NoopSpan:
         return _NOOP_SPAN
 
     @property
@@ -160,15 +190,18 @@ class Tracer:
     # -- span lifecycle -------------------------------------------------------
 
     def span(self, name: str, parent: Optional[int] = None,
-             **attrs: Any) -> Span:
+             parallel: bool = False, **attrs: Any) -> Span:
         """Open a span; use as a context manager.
 
         The parent defaults to the innermost open span; pass ``parent=``
         to re-link across an asynchronous hand-off (scheduled delivery).
+        ``parallel=True`` marks a fan-out whose children overlap: their
+        costs roll up as max instead of sum (see :class:`Span`).
         """
         if parent is None and self._stack:
             parent = self._stack[-1].span_id
-        span = Span(name, self._next_id, parent, self._clock(), self)
+        span = Span(name, self._next_id, parent, self._clock(), self,
+                    parallel=parallel)
         self._next_id += 1
         if attrs:
             span.attrs.update(attrs)
@@ -183,6 +216,10 @@ class Tracer:
         span.end = self._clock()
         if failed:
             span.attrs.setdefault("error", True)
+        # A parallel span's own cost is the max its children reached,
+        # unless settle_cost pinned an exact critical path.
+        if span.parallel and not span._settled:
+            span.cost += span._child_max
         # Roll accounted cost up into the parent so ancestor spans report
         # inclusive cost without the exporters re-walking the tree.
         if self._stack and self._stack[-1] is span:
@@ -194,7 +231,11 @@ class Tracer:
                 pass
         if span.parent_id is not None and self._stack \
                 and self._stack[-1].span_id == span.parent_id:
-            self._stack[-1].cost += span.cost
+            parent = self._stack[-1]
+            if parent.parallel:
+                parent._child_max = max(parent._child_max, span.cost)
+            else:
+                parent.cost += span.cost
         self.spans.append(span)
 
     # -- introspection --------------------------------------------------------

@@ -21,6 +21,7 @@ ring converges).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import warnings
 from dataclasses import dataclass, field
@@ -302,6 +303,13 @@ class ChordRing:
         cannot reach the owner (partition, crash), the replica set is
         probed directly with hedged reads from the querying peer, so any
         reachable holder serves the content.
+
+        Latency note: the replica probing here is sequential *failover*
+        (try the next holder only after the previous one fails), not true
+        hedging, so its cost stays a serial sum under both latency
+        models; staggered concurrent hedging lives in
+        :meth:`repro.faults.ReliableChannel.hedged` and the verified path
+        of :func:`repro.overlay.replication.fetch_from_holders`.
         """
         with self.network.tracer.span("chord.get", key=key, start=start):
             return self._get_inner(start, key)
@@ -379,8 +387,24 @@ class ChordRing:
         with self.network.tracer.span("chord.get_many", start=start,
                                       keys=len(seen),
                                       owners=len(groups)) as span:
-            for owner, group in groups.items():
-                self._get_group(start, owner, group, results)
+            # Owner groups are independent fetch chains (route + holder
+            # probes); a real client runs them concurrently, so under the
+            # concurrent model each group is a serial sub-span and the
+            # groups roll up as max.  Spans are conditional to keep
+            # off-mode traces byte-identical.
+            concurrent = self.network.sim.concurrent
+            fanout = (self.network.tracer.span("chord.get_many.fanout",
+                                               parallel=True,
+                                               owners=len(groups))
+                      if concurrent else contextlib.nullcontext(None))
+            with fanout:
+                for owner, group in groups.items():
+                    group_span = (self.network.tracer.span(
+                                      "chord.get_group", owner=owner)
+                                  if concurrent
+                                  else contextlib.nullcontext(None))
+                    with group_span:
+                        self._get_group(start, owner, group, results)
             span.set_attr("served",
                           sum(1 for v in results.values()
                               if not isinstance(v, Exception)))

@@ -13,6 +13,7 @@ the ``k`` closest nodes.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import warnings
 from dataclasses import dataclass
@@ -146,6 +147,12 @@ class KademliaOverlay:
         ``alpha`` concurrent queries per round (charged as RPCs); terminates
         when a round fails to improve the closest-seen distance, like the
         original protocol.
+
+        Latency model: rounds are dependent (each consumes the previous
+        round's answers) and always sum; *within* a round the alpha
+        queries are the protocol's namesake concurrency, so under
+        :attr:`Simulator.concurrent` each round is a parallel span and
+        its queries roll up as max.
         """
         target_id = kad_id(key)
         origin = self.nodes.get(start)
@@ -176,30 +183,38 @@ class KademliaOverlay:
                     break
                 hops += 1
                 improved = False
-                for peer_name in batch:
-                    queried.add(peer_name)
-                    ok, _ = self._rpc(start, peer_name, kind="kad_find")
-                    rpcs += 1
-                    if not ok:
-                        continue
-                    peer = self.nodes[peer_name]
-                    if find_value and key in peer.store:
-                        span.set_attr("rounds", hops)
-                        span.set_attr("rpcs", rpcs)
-                        span.set_attr("hit", True)
-                        return KadLookupResult(
-                            closest=sorted(
-                                shortlist,
-                                key=lambda n: xor_distance(
-                                    kad_id(n), target_id))[:self.k],
-                            hops=hops, rpcs=rpcs, value=peer.store[key])
-                    for learned in peer.closest_known(target_id, self.k):
-                        if learned not in shortlist:
-                            shortlist.append(learned)
-                            d = xor_distance(kad_id(learned), target_id)
-                            if d < best:
-                                best = d
-                                improved = True
+                round_span = (self.network.tracer.span(
+                                  "kad.round", parallel=True, round=hops)
+                              if self.network.sim.concurrent
+                              else contextlib.nullcontext(None))
+                with round_span:
+                    for peer_name in batch:
+                        queried.add(peer_name)
+                        ok, _ = self._rpc(start, peer_name, kind="kad_find")
+                        rpcs += 1
+                        if not ok:
+                            continue
+                        peer = self.nodes[peer_name]
+                        if find_value and key in peer.store:
+                            span.set_attr("rounds", hops)
+                            span.set_attr("rpcs", rpcs)
+                            span.set_attr("hit", True)
+                            return KadLookupResult(
+                                closest=sorted(
+                                    shortlist,
+                                    key=lambda n: xor_distance(
+                                        kad_id(n), target_id))[:self.k],
+                                hops=hops, rpcs=rpcs,
+                                value=peer.store[key])
+                        for learned in peer.closest_known(target_id,
+                                                          self.k):
+                            if learned not in shortlist:
+                                shortlist.append(learned)
+                                d = xor_distance(kad_id(learned),
+                                                 target_id)
+                                if d < best:
+                                    best = d
+                                    improved = True
                 shortlist.sort(
                     key=lambda n: xor_distance(kad_id(n), target_id))
                 shortlist = shortlist[:self.k * 2]

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro.exceptions import OverlayError, SimulationError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NOOP_TRACER
-from repro.overlay.simulator import Simulator, UniformLatency
+from repro.overlay.simulator import SimFuture, Simulator, UniformLatency
 
 
 @dataclass
@@ -101,6 +101,30 @@ class NetworkStats:
         self.fault_drops = 0
         self.corrupted = 0
         self.by_kind.clear()
+
+    def summary(self) -> Dict[str, int]:
+        """Flat roll-up with *every* RPC failure cause accounted.
+
+        ``failures`` covers both failure modes an RPC caller observes:
+        timeouts (lost request/response, offline or partitioned peer)
+        **and** corrupted responses — the corruption branch of
+        :meth:`SimNetwork._rpc_inner` returns a failure without touching
+        ``timeouts``, so summing only timeouts under-counts.  E12 reads
+        this so its resilience tables balance against injected faults.
+        """
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "drops": self.drops,
+            "timeouts": self.timeouts,
+            "corrupted": self.corrupted,
+            "failures": self.timeouts + self.corrupted,
+            "retries": self.retries,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fastfails": self.breaker_fastfails,
+            "hedges": self.hedges,
+            "fault_drops": self.fault_drops,
+        }
 
 
 class SimNode:
@@ -298,9 +322,39 @@ class SimNetwork:
 
     # -- accounted synchronous RPC ------------------------------------------------
 
+    def rpc_issue(self, src: str, dst: str, kind: str = "rpc",
+                  payload_size: int = 64) -> SimFuture:
+        """Issue one RPC and return its completion token.
+
+        Every RNG draw (latency samples, loss causes, corruption) happens
+        *now*, in issue order — exactly the draws the blocking
+        :meth:`rpc` made, in the same order — so issuing a batch of RPCs
+        and combining their futures consumes the identical random stream
+        a sequential loop would.  The returned :class:`SimFuture` carries
+        ``value=(ok, rtt)``, ``ok``, and ``latency=rtt``; feed batches of
+        them to :func:`repro.overlay.simulator.quorum_of` /
+        :func:`~repro.overlay.simulator.gather` to account the fan-out's
+        critical path instead of the sum.
+
+        Span and statistics behaviour is unchanged from :meth:`rpc`: the
+        ``net.rpc`` span closes immediately carrying the RTT as cost (a
+        parallel parent span turns the sum into a max — see
+        :class:`repro.obs.trace.Span`).
+        """
+        self.stats.by_kind[kind] += 1
+        with self.tracer.span("net.rpc", kind=kind, src=src,
+                              dst=dst) as span:
+            ok, rtt = self._rpc_inner(src, dst, kind, payload_size, span)
+            span.set_attr("ok", ok)
+            span.add_cost(rtt)
+        return self.sim.future(rtt, value=(ok, rtt), ok=ok)
+
     def rpc(self, src: str, dst: str, kind: str = "rpc",
             payload_size: int = 64) -> Tuple[bool, float]:
         """Model one request/response round trip.
+
+        A blocking wrapper over :meth:`rpc_issue` — the draws, spans and
+        statistics are byte-identical to the pre-split implementation.
 
         Returns ``(reachable, rtt)``.  The two directions draw loss
         independently so the accounting matches the fault model: a lost
@@ -316,13 +370,7 @@ class SimNetwork:
         aggregate ``fault_drops`` counter cannot tell a lost request from
         a lost response, the labelled counters can.
         """
-        self.stats.by_kind[kind] += 1
-        with self.tracer.span("net.rpc", kind=kind, src=src,
-                              dst=dst) as span:
-            ok, rtt = self._rpc_inner(src, dst, kind, payload_size, span)
-            span.set_attr("ok", ok)
-            span.add_cost(rtt)
-            return (ok, rtt)
+        return self.rpc_issue(src, dst, kind, payload_size).value
 
     def _rpc_inner(self, src: str, dst: str, kind: str, payload_size: int,
                    span: Any) -> Tuple[bool, float]:

@@ -14,14 +14,33 @@ Design points:
 * events at equal timestamps fire in schedule order (a monotone sequence
   number breaks ties), which removes heap nondeterminism;
 * :class:`Event` handles support cancellation (needed by churn timers).
+
+**The concurrent virtual-time kernel.**  The accounted-RPC shortcut
+(:meth:`repro.overlay.network.SimNetwork.rpc`) returns an RTT without
+advancing the clock, which historically forced every fan-out path —
+quorum probes, hedged replica fetches, SWIM ping-req chains, batched
+feed fetches — to *sum* round trips a real client would overlap.
+:class:`SimFuture` fixes the accounting: an issued operation settles
+immediately (all RNG draws happen at issue time, in issue order, so the
+synchronous wrappers keep byte-identical random streams), but carries a
+virtual *completion time*.  The combinators :func:`gather`,
+:func:`quorum_of` and :func:`first_of` then reduce a fan-out to its
+critical path: with :attr:`Simulator.concurrent` set, overlapped
+operations cost the **max** (or the ``n``-th completion, for quorums) of
+their latencies instead of the sum.  Settle order is fixed by
+``(completion time, issue sequence)``, so two runs at one seed settle
+identically.  With ``concurrent=False`` (the default) every combinator
+reports the legacy serial sum, keeping committed experiment tables
+byte-identical.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import random as _random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SimulationError
 
@@ -41,17 +60,32 @@ class Event:
 
 
 class Simulator:
-    """A virtual clock plus an event queue."""
+    """A virtual clock plus an event queue.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``concurrent`` selects the latency model the fan-out combinators
+    apply (see the module docstring): ``False`` (default) preserves the
+    legacy sum-of-round-trips accounting byte-for-byte; ``True`` makes
+    overlapped operations pay their critical path.
+    """
+
+    def __init__(self, seed: int = 0, concurrent: bool = False) -> None:
         self.now: float = 0.0
         self.rng = _random.Random(seed)
+        #: latency model for fan-out: critical path (True) vs serial sum
+        self.concurrent = concurrent
         self._queue: List[Event] = []
         self._sequence = 0
+        self._future_sequence = 0
         self.events_processed = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` time units from now."""
+        if not math.isfinite(delay):
+            # NaN compares False against everything, so it would slip
+            # past the negativity check and poison the heap invariant
+            # (heap order is undefined once one key is incomparable).
+            raise SimulationError(
+                f"event delay must be finite (got {delay})")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past ({delay})")
         event = Event(time=self.now + delay, sequence=self._sequence,
@@ -101,6 +135,145 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-fired (possibly cancelled) events."""
         return len(self._queue)
+
+    def future(self, latency: float, value: Any = None,
+               ok: bool = True) -> "SimFuture":
+        """Issue a :class:`SimFuture` completing ``latency`` from now."""
+        return SimFuture(self, latency, value=value, ok=ok)
+
+
+class SimFuture:
+    """The completion token of one issued operation.
+
+    Because accounted RPCs resolve their outcome at issue time (every
+    RNG draw happens immediately, in issue order), a future is *settled*
+    the moment it is created — what it defers is the **latency
+    accounting**: ``completion = issued_at + latency`` on the virtual
+    clock is when a real client would see the response.  The combinators
+    below reduce sets of futures to deterministic critical paths.
+
+    ``seq`` is a simulator-wide monotone issue sequence; all settle
+    ordering ties break on it, never on object identity.
+    """
+
+    __slots__ = ("sim", "issued_at", "seq", "latency", "value", "ok",
+                 "cancelled")
+
+    def __init__(self, sim: Simulator, latency: float, value: Any = None,
+                 ok: bool = True) -> None:
+        if not math.isfinite(latency) or latency < 0:
+            raise SimulationError(
+                f"future latency must be finite and >= 0 (got {latency})")
+        self.sim = sim
+        self.issued_at = sim.now
+        self.seq = sim._future_sequence
+        sim._future_sequence += 1
+        self.latency = latency
+        #: the operation's result (e.g. the ``(ok, rtt)`` pair of an RPC)
+        self.value = value
+        #: whether the operation succeeded (the default quorum predicate)
+        self.ok = ok
+        #: set by a combinator when a winner made this branch moot; the
+        #: operation was still *issued* (its messages are already paid
+        #: for), but nothing waits on it.
+        self.cancelled = False
+
+    @property
+    def completion(self) -> float:
+        """Absolute virtual time at which this operation completes."""
+        return self.issued_at + self.latency
+
+    def cancel(self) -> None:
+        """Mark the branch as abandoned by its consumer (bookkeeping)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimFuture(seq={self.seq}, ok={self.ok}, "
+                f"latency={self.latency:.4f})")
+
+
+@dataclass
+class FanoutResult:
+    """What a combinator settled: winners, order, and the elapsed cost.
+
+    ``elapsed`` follows the simulator's latency model — critical path
+    when :attr:`Simulator.concurrent`, serial sum otherwise — while
+    ``sum_latency`` / ``max_latency`` always carry both views so
+    benchmarks can report the sequential/concurrent gap from one run.
+    """
+
+    futures: List[SimFuture]        #: issue order, as passed in
+    settled: List[SimFuture]        #: (completion, seq) order
+    winners: List[SimFuture]        #: first ``n`` satisfying, settle order
+    met: bool                       #: whether the quorum was reached
+    elapsed: float                  #: cost under the simulator's model
+    sum_latency: float              #: serial accounting (sum of latencies)
+    max_latency: float              #: waiting for *every* branch
+
+
+def quorum_of(n: int, futures: Sequence[SimFuture],
+              predicate: Optional[Callable[[SimFuture], bool]] = None
+              ) -> FanoutResult:
+    """Settle a fan-out when ``n`` satisfying branches have completed.
+
+    ``predicate`` marks the satisfying branches (default:
+    :attr:`SimFuture.ok`).  Settle order is ``(completion, seq)`` —
+    deterministic across runs at one seed.  Under the concurrent model
+    ``elapsed`` is the ``n``-th satisfying completion relative to the
+    earliest issue (the client returns as soon as the quorum is in); an
+    unmet quorum waits for every branch (``max_latency``).  Under the
+    serial model ``elapsed`` is the sum of every branch's latency —
+    exactly what the pre-kernel sequential loops paid.  Branches that
+    complete after the settle point are flagged ``cancelled``.
+    """
+    futures = list(futures)
+    if predicate is None:
+        predicate = lambda future: future.ok  # noqa: E731
+    sum_latency = sum(future.latency for future in futures)
+    if not futures:
+        return FanoutResult(futures=[], settled=[], winners=[],
+                            met=n <= 0, elapsed=0.0, sum_latency=0.0,
+                            max_latency=0.0)
+    epoch = min(future.issued_at for future in futures)
+    settled = sorted(futures, key=lambda f: (f.completion, f.seq))
+    max_latency = settled[-1].completion - epoch
+    winners: List[SimFuture] = []
+    for future in settled:
+        if len(winners) < n and predicate(future):
+            winners.append(future)
+    met = len(winners) >= n
+    if n <= 0:
+        # Nothing to wait for: the quorum was satisfied before any of
+        # these branches was needed (e.g. local write acks covered W).
+        critical = 0.0
+    elif met:
+        settle_at = winners[-1].completion
+        for future in settled:
+            if future.completion > settle_at or (
+                    future.completion == settle_at
+                    and future.seq > winners[-1].seq):
+                future.cancel()
+        critical = settle_at - epoch
+    else:
+        critical = max_latency
+    concurrent = futures[0].sim.concurrent
+    return FanoutResult(
+        futures=futures, settled=settled, winners=winners, met=met,
+        elapsed=(critical if concurrent else sum_latency),
+        sum_latency=sum_latency, max_latency=max_latency)
+
+
+def gather(futures: Sequence[SimFuture]) -> FanoutResult:
+    """Wait for *every* branch: elapsed is the max (or serial sum)."""
+    futures = list(futures)
+    return quorum_of(len(futures), futures, predicate=lambda f: True)
+
+
+def first_of(futures: Sequence[SimFuture],
+             predicate: Optional[Callable[[SimFuture], bool]] = None
+             ) -> FanoutResult:
+    """Settle on the first satisfying branch (a 1-quorum)."""
+    return quorum_of(1, futures, predicate=predicate)
 
 
 @dataclass

@@ -18,6 +18,7 @@ Detection counters (via ``fabric.metrics`` / :mod:`repro.obs`):
 
 from __future__ import annotations
 
+import contextlib
 import random as _random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -26,6 +27,7 @@ from repro.exceptions import (CryptoError, IntegrityError, LookupError_,
                               QuorumWriteError, ReplicaIntegrityError,
                               StorageError)
 from repro.faults.byzantine import CorruptBlob, Equivocate, StaleServe
+from repro.overlay.simulator import SimFuture, gather, quorum_of
 from repro.storage2.config import ReplicationConfig
 from repro.storage2.record import GENESIS, StoredVersion, seal_version
 
@@ -38,6 +40,12 @@ class ReadResult:
     fallback: the payload is the newest copy that *verified* (signature
     checked — never tampered bytes) but fewer than ``R`` holders
     answered, so the usual freshness guarantee does not apply.
+
+    ``elapsed`` is the read's client-visible latency under the fabric's
+    model: the serial sum of every probe with
+    :attr:`Simulator.concurrent` unset, the critical path to the R-th
+    *verified* response with it set.  Read-repair pushes are background
+    traffic and excluded either way.
     """
 
     payload: bytes
@@ -48,6 +56,7 @@ class ReadResult:
     rejected: int        # responses that failed verification
     repaired: int        # holder copies fixed by read-repair
     degraded: bool = False
+    elapsed: float = 0.0
 
 
 class ReplicatedStore:
@@ -109,6 +118,23 @@ class ReplicatedStore:
         if self.ring.channel is not None:
             return self.ring.channel.call(src, dst, kind=kind)
         return self.network.rpc(src, dst, kind=kind)
+
+    def _rpc_issue(self, src: str, dst: str, kind: str) -> SimFuture:
+        """Issue one store RPC as a future (draws identical to _rpc)."""
+        if self.ring.channel is not None:
+            return self.ring.channel.call_issue(src, dst, kind=kind)
+        return self.network.rpc_issue(src, dst, kind=kind)
+
+    def _fanout_span(self, name: str, **attrs):
+        """A parallel sub-span for a probe fan-out — concurrent mode only.
+
+        Off-mode traces must stay byte-identical to committed tables, so
+        the extra span exists only when the simulator accounts critical
+        paths (its cost is then settled to the quorum's settle point).
+        """
+        if self.sim.concurrent:
+            return self.network.tracer.span(name, parallel=True, **attrs)
+        return contextlib.nullcontext(None)
 
     def holders_of(self, key: str) -> List[str]:
         """The current replica holders (placement, else the ring's set)."""
@@ -199,17 +225,30 @@ class ReplicatedStore:
                 rng=self.rng)
             encoded = record.encode()
             acks = 0
-            for holder in holders:
-                if holder == coordinator:
-                    node = self.ring.nodes.get(holder)
-                    if node is not None and node.online:
+            local_acks = 0
+            pushes: List[SimFuture] = []
+            with self._fanout_span("storage2.put.fanout", key=key,
+                                   holders=len(holders)) as fanout:
+                for holder in holders:
+                    if holder == coordinator:
+                        node = self.ring.nodes.get(holder)
+                        if node is not None and node.online:
+                            self.store_at(holder, key, encoded)
+                            acks += 1
+                            local_acks += 1
+                        continue
+                    future = self._rpc_issue(coordinator, holder,
+                                             "quorum_store")
+                    pushes.append(future)
+                    if future.ok:
                         self.store_at(holder, key, encoded)
                         acks += 1
-                    continue
-                ok, _ = self._rpc(coordinator, holder, "quorum_store")
-                if ok:
-                    self.store_at(holder, key, encoded)
-                    acks += 1
+                if fanout is not None:
+                    # The writer returns at the W-th ack; pushes past it
+                    # (and an already-satisfied local quorum) complete in
+                    # the background.
+                    need = max(0, self.config.w - local_acks)
+                    fanout.settle_cost(quorum_of(need, pushes).elapsed)
             span.set_attr("version", version)
             span.set_attr("acks", acks)
             self.metrics.inc("storage.quorum_writes")
@@ -240,34 +279,46 @@ class ReplicatedStore:
             responses: List[Tuple[str, Optional[StoredVersion]]] = []
             rejected = 0
             probed = 0
+            probes: List[SimFuture] = []
             holders = self.holders_of(key)
             membership = getattr(self.fabric, "membership", None)
             if membership is not None:
                 holders = membership.order_by_health(reader, holders)
-            for holder in holders:
-                node = self.ring.nodes.get(holder)
-                if node is None or key not in node.store:
-                    continue  # crashed holders lost the key with their state
-                if probed > 0:
-                    self.network.stats.hedges += 1
-                probed += 1
-                ok, _ = self._rpc(reader, holder, "quorum_read")
-                if not ok:
-                    continue
-                try:
-                    record = self._verify(key, self.serve(holder, reader,
-                                                          key))
-                except (IntegrityError, CryptoError):
-                    rejected += 1
-                    self.metrics.inc("storage.byzantine_rejects")
-                    responses.append((holder, None))
-                    continue
-                responses.append((holder, record))
-            return self._settle(reader, key, responses, rejected, span)
+            with self._fanout_span("storage2.get.fanout", key=key) as fanout:
+                for holder in holders:
+                    node = self.ring.nodes.get(holder)
+                    if node is None or key not in node.store:
+                        continue  # crashed holders lost key with their state
+                    if probed > 0:
+                        self.network.stats.hedges += 1
+                    probed += 1
+                    future = self._rpc_issue(reader, holder, "quorum_read")
+                    probes.append(future)
+                    if not future.ok:
+                        continue
+                    try:
+                        record = self._verify(
+                            key, self.serve(holder, reader, key))
+                    except (IntegrityError, CryptoError):
+                        rejected += 1
+                        self.metrics.inc("storage.byzantine_rejects")
+                        responses.append((holder, None))
+                        # a rejected response cannot count toward R
+                        future.ok = False
+                        continue
+                    responses.append((holder, record))
+                # The client returns at the R-th *verified* response; an
+                # unmet quorum waits out every probe.
+                fanout_result = quorum_of(self.config.r, probes)
+                if fanout is not None:
+                    fanout.settle_cost(fanout_result.elapsed)
+            return self._settle(reader, key, responses, rejected, span,
+                                elapsed=fanout_result.elapsed)
 
     def _settle(self, reader: str, key: str,
                 responses: List[Tuple[str, Optional[StoredVersion]]],
-                rejected: int, span=None) -> ReadResult:
+                rejected: int, span=None,
+                elapsed: float = 0.0) -> ReadResult:
         """Winner selection, degraded fallback and read-repair for one key.
 
         Shared verbatim between :meth:`get` and :meth:`get_many` so the
@@ -305,7 +356,7 @@ class ReplicatedStore:
                     payload=best.payload, version=best.version,
                     author=best.author, holder=best_holder,
                     verified=len(verified), rejected=rejected,
-                    repaired=0, degraded=True)
+                    repaired=0, degraded=True, elapsed=elapsed)
             raise StorageError(
                 f"read quorum for {key!r} not met: {len(verified)} "
                 f"verified responses, needs R={self.config.r}")
@@ -329,7 +380,7 @@ class ReplicatedStore:
             payload=best.payload, version=best.version,
             author=best.author, holder=best_holder,
             verified=len(verified), rejected=rejected,
-            repaired=repaired)
+            repaired=repaired, elapsed=elapsed)
 
     def get_many(self, reader: str, keys) -> Dict[str, object]:
         """Batched verified reads: one probe RPC per holder, not per key.
@@ -366,29 +417,52 @@ class ReplicatedStore:
             responses: Dict[str, List[Tuple[str, Optional[StoredVersion]]]]
             responses = {key: [] for key in ordered}
             rejected: Dict[str, int] = {key: 0 for key in ordered}
+            #: key -> probe futures of the holders covering it; satisfied
+            #: means the probe landed AND that key's record verified
+            key_probes: Dict[str, List[SimFuture]] = {k: [] for k in ordered}
+            key_verified: Dict[str, set] = {k: set() for k in ordered}
             reachable = 0
-            for holder, holder_keys in want.items():
-                ok, _ = self._rpc(reader, holder, "quorum_read_batch")
-                if not ok:
-                    continue
-                reachable += 1
-                for key in holder_keys:
-                    try:
-                        record = self._verify(
-                            key, self.serve(holder, reader, key))
-                    except (IntegrityError, CryptoError):
-                        rejected[key] += 1
-                        self.metrics.inc("storage.byzantine_rejects")
-                        responses[key].append((holder, None))
+            batch_probes: List[SimFuture] = []
+            with self._fanout_span("storage2.get_many.fanout",
+                                   holders=len(want)) as fanout:
+                for holder, holder_keys in want.items():
+                    future = self._rpc_issue(reader, holder,
+                                             "quorum_read_batch")
+                    batch_probes.append(future)
+                    for key in holder_keys:
+                        key_probes[key].append(future)
+                    if not future.ok:
                         continue
-                    responses[key].append((holder, record))
+                    reachable += 1
+                    for key in holder_keys:
+                        try:
+                            record = self._verify(
+                                key, self.serve(holder, reader, key))
+                        except (IntegrityError, CryptoError):
+                            rejected[key] += 1
+                            self.metrics.inc("storage.byzantine_rejects")
+                            responses[key].append((holder, None))
+                            continue
+                        responses[key].append((holder, record))
+                        key_verified[key].add(future.seq)
+                if fanout is not None:
+                    # The batch's wire cost: every holder answers once;
+                    # the slowest probe bounds the batch.
+                    fanout.settle_cost(gather(batch_probes).elapsed)
             span.set_attr("reachable", reachable)
             settled = 0
             for key in ordered:
+                # Per-key latency: the R-th holder whose response for
+                # *this key* verified (one probe can satisfy many keys).
+                verified_seqs = key_verified[key]
+                per_key = quorum_of(
+                    self.config.r, key_probes[key],
+                    predicate=lambda f, s=verified_seqs: f.seq in s)
                 try:
                     results[key] = self._settle(reader, key,
                                                 responses[key],
-                                                rejected[key])
+                                                rejected[key],
+                                                elapsed=per_key.elapsed)
                     settled += 1
                 except (StorageError, ReplicaIntegrityError) as exc:
                     results[key] = exc

@@ -33,6 +33,7 @@ simply does not run on a machine that is down.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest, digest_many
@@ -73,6 +74,19 @@ class AntiEntropyDaemon:
         node = self.store.ring.nodes.get(peer)
         return node is not None and node.online
 
+    def _span(self, name: str, parallel: bool = False, **attrs):
+        """A latency-attribution span, opened only in concurrent mode.
+
+        The daemon's root checks (per peer) and reconciliation pulls
+        (per key) are independent, so a real deployment overlaps them;
+        spans are conditional so the serial mode's traces stay
+        byte-identical to committed tables.
+        """
+        if self.store.sim.concurrent:
+            return self.store.network.tracer.span(name, parallel=parallel,
+                                                  **attrs)
+        return contextlib.nullcontext(None)
+
     def start(self) -> None:
         """Schedule the recurring repair tick on the simulator clock."""
         if self._started:
@@ -110,14 +124,21 @@ class AntiEntropyDaemon:
                         continue
                     coordinator = initiators[0]
                 local_root = self._summary_root(coordinator, keys)
-                for peer in live[1:]:
-                    ok, _ = store._rpc(coordinator, peer,
-                                       "antientropy_root")
-                    if not ok:
-                        continue
-                    if self._summary_root(peer, keys) == local_root:
-                        continue
-                    self._sync_pair(coordinator, peer, keys)
+                with self._span("storage2.repair.group", parallel=True,
+                                keys=len(keys)):
+                    for peer in live[1:]:
+                        # One peer's chain (root check, then its pulls)
+                        # is serial; the chains across peers overlap.
+                        with self._span("storage2.repair.peer", peer=peer):
+                            ok, _ = store._rpc(coordinator, peer,
+                                               "antientropy_root")
+                            if not ok:
+                                continue
+                            if self._summary_root(peer, keys) == local_root:
+                                continue
+                            self._sync_pair(coordinator, peer, keys)
+            # Re-placement is inherently sequential: each key's pushes
+            # update the placement the next decision reads.
             for key in sorted(store.placements):
                 self._re_replicate(key)
 
@@ -154,7 +175,16 @@ class AntiEntropyDaemon:
         return best
 
     def _sync_pair(self, a: str, b: str, keys: List[str]) -> None:
-        """Reconcile two live holders whose summaries disagree."""
+        """Reconcile two live holders whose summaries disagree.
+
+        Per-key pulls are independent (each moves one record between the
+        same two holders), so they overlap under the concurrent model.
+        """
+        with self._span("storage2.repair.pulls", parallel=True,
+                        keys=len(keys)):
+            self._sync_pair_keys(a, b, keys)
+
+    def _sync_pair_keys(self, a: str, b: str, keys: List[str]) -> None:
         store = self.store
         for key in keys:
             blob_a = self._stored(a, key)

@@ -1,0 +1,104 @@
+"""Tests for parallel (overlapping-children) span cost roll-up."""
+
+from repro.obs.trace import NOOP_TRACER, Tracer
+
+
+def _tracer():
+    return Tracer(clock=lambda: 0.0)
+
+
+class TestSerialRollup:
+    def test_children_sum_by_default(self):
+        tracer = _tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                a.add_cost(0.3)
+            with tracer.span("b") as b:
+                b.add_cost(0.2)
+        assert parent.cost == 0.5
+
+    def test_own_cost_adds_to_child_sum(self):
+        tracer = _tracer()
+        with tracer.span("parent") as parent:
+            parent.add_cost(0.1)
+            with tracer.span("a") as a:
+                a.add_cost(0.3)
+        assert parent.cost == 0.4
+
+
+class TestParallelRollup:
+    def test_children_roll_up_as_max(self):
+        tracer = _tracer()
+        with tracer.span("fanout", parallel=True) as fanout:
+            for cost in (0.3, 0.7, 0.2):
+                with tracer.span("branch") as branch:
+                    branch.add_cost(cost)
+        assert fanout.cost == 0.7
+
+    def test_serial_chains_under_parallel_parent(self):
+        """Each chain sums internally; chains overlap with each other."""
+        tracer = _tracer()
+        with tracer.span("fanout", parallel=True) as fanout:
+            for first, second in ((0.1, 0.2), (0.4, 0.1), (0.2, 0.2)):
+                with tracer.span("chain") as chain:
+                    with tracer.span("hop1") as hop:
+                        hop.add_cost(first)
+                    with tracer.span("hop2") as hop:
+                        hop.add_cost(second)
+        assert fanout.cost == 0.5  # the 0.4 + 0.1 chain is the slowest
+
+    def test_parallel_parent_rolls_into_grandparent(self):
+        tracer = _tracer()
+        with tracer.span("op") as op:
+            op.add_cost(0.05)
+            with tracer.span("fanout", parallel=True) as fanout:
+                for cost in (0.3, 0.6):
+                    with tracer.span("branch") as branch:
+                        branch.add_cost(cost)
+        assert fanout.cost == 0.6
+        assert op.cost == 0.65
+
+    def test_own_cost_adds_to_child_max(self):
+        tracer = _tracer()
+        with tracer.span("fanout", parallel=True) as fanout:
+            fanout.add_cost(0.1)  # e.g. the route to reach the holders
+            with tracer.span("branch") as branch:
+                branch.add_cost(0.4)
+        assert fanout.cost == 0.5
+
+
+class TestSettleCost:
+    def test_settle_overrides_the_rollup(self):
+        """A quorum settles at the R-th completion: neither sum nor max."""
+        tracer = _tracer()
+        with tracer.span("fanout", parallel=True) as fanout:
+            for cost in (0.3, 0.7, 0.2):
+                with tracer.span("probe") as probe:
+                    probe.add_cost(cost)
+            fanout.settle_cost(0.3)
+        assert fanout.cost == 0.3
+
+    def test_settled_cost_propagates_to_parent(self):
+        tracer = _tracer()
+        with tracer.span("op") as op:
+            with tracer.span("fanout", parallel=True) as fanout:
+                with tracer.span("probe") as probe:
+                    probe.add_cost(0.9)
+                fanout.settle_cost(0.25)
+        assert op.cost == 0.25
+
+    def test_settle_on_serial_span(self):
+        tracer = _tracer()
+        with tracer.span("op") as op:
+            op.add_cost(1.0)
+            op.settle_cost(0.4)
+        assert op.cost == 0.4
+
+
+class TestNoopTracer:
+    def test_parallel_and_settle_are_noops(self):
+        span = NOOP_TRACER.span("x", parallel=True)
+        assert span.parallel is False
+        with span as s:
+            s.add_cost(1.0).settle_cost(2.0)
+        assert span.cost == 0.0
