@@ -124,6 +124,8 @@ def _chord_cell(burst_rate: float, partitioned: bool, policy: str):
         "timeouts": summary["timeouts"],
         "corrupted": summary["corrupted"],
         "failures": summary["failures"],
+        "shed": summary["shed"],
+        "deadline_expired": summary["deadline_expired"],
     }
 
 
@@ -175,20 +177,24 @@ def test_fault_intensity_vs_policy(benchmark):
     counter_rows = [
         (label, policy, cell["retries"], cell["breaker_trips"],
          cell["fastfails"], cell["hedges"], cell["fault_drops"],
-         cell["timeouts"], cell["corrupted"])
+         cell["timeouts"], cell["corrupted"], cell["shed"],
+         cell["deadline_expired"])
         for (label, policy), cell in cells.items() if policy != "bare"]
     report_table(
         "E12b_resilience_counters",
         "E12b — what the resilience layer did (per cell)",
         ["Faults", "Policy", "Retries", "Breaker trips", "Fast-fails",
-         "Hedged reads", "Fault drops", "Timeouts", "Corrupted"],
+         "Hedged reads", "Fault drops", "Timeouts", "Corrupted", "Shed",
+         "DeadlineExpired"],
         counter_rows,
         note=("Breaker fast-fails replace repeated timeouts against dead "
               "destinations; hedged reads are what keeps partitioned "
               "content reachable via replicas.  Corrupted counts garbled "
-              "responses (zero here: this plan injects no corruption) so "
-              "every failure cause in NetworkStats.summary() is "
-              "accounted."))
+              "responses (zero here: this plan injects no corruption), "
+              "and Shed / DeadlineExpired count overload rejections and "
+              "expired op budgets (zero here: no OverloadConfig is "
+              "installed) so every failure cause in "
+              "NetworkStats.summary() is accounted."))
 
 
 def test_headline_cell_deterministic(benchmark):

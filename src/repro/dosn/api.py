@@ -58,6 +58,7 @@ from repro.dosn.user import DosnUser
 from repro.dosn.identity import KeyRegistry
 from repro.exceptions import IntegrityError, OverlayError
 from repro.fabric import Fabric
+from repro.faults.overload import OverloadConfig
 from repro.membership import MembershipConfig, SwimMembership
 from repro.overlay.chord import ChordRing
 from repro.overlay.federation import FederatedNetwork
@@ -147,6 +148,13 @@ class DosnConfig:
     #: legacy serial sum.  Message/byte counts are unchanged; ``False``
     #: keeps every committed table byte-identical.
     concurrent: bool = False
+    #: overload protection (:mod:`repro.faults.overload`): per-peer
+    #: service queues with load shedding, per-operation deadlines through
+    #: lookups / quorum reads / feed fan-out, a shared retry budget, and
+    #: adaptive attempt timeouts.  ``None`` (the default) keeps the
+    #: fair-weather fabric — no service state, no new RNG draws, every
+    #: committed table byte-identical.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -193,7 +201,8 @@ class DosnNetwork:
                 tracing=config.tracing or config.wall_clock,
                 wall_clock=config.wall_clock,
                 resilient=config.resilient,
-                concurrent=config.concurrent)
+                concurrent=config.concurrent,
+                overload=config.overload)
         self.fabric = fabric
         self.sim = fabric.sim
         self.network = fabric.network

@@ -124,6 +124,13 @@ class DHTBackend(StorageBackend):
     puts seal signed version records and need W acks, gets verify every
     response and return the newest verified version's payload.  The
     legacy path is untouched when ``quorum`` is ``None``.
+
+    Overload protection needs no backend plumbing: when the fabric
+    carries a ``DosnConfig(overload=...)`` config, the ring's lookups
+    and the quorum store's reads mint their own per-operation deadlines
+    from ``fabric.overload``, the channel enforces the retry budget, and
+    the network sheds at saturated peers — a shed surfaces here as
+    :class:`repro.exceptions.OverloadedError` from fetch paths.
     """
 
     def __init__(self, ring: ChordRing, channel=None, quorum=None) -> None:

@@ -67,12 +67,34 @@ class LookupError_(OverlayError):
     """A key lookup in the overlay could not be resolved."""
 
 
+class DeadlineExceededError(OverlayError):
+    """An operation's propagated deadline expired before it finished.
+
+    Deliberately *not* a :class:`LookupError_`: a routing failure means
+    "try the replicas directly", but an expired deadline means "stop —
+    nobody is waiting for the answer", so the hedged-fallback paths that
+    catch :class:`LookupError_` must not swallow this and issue doomed
+    probes.
+    """
+
+
 class StorageError(OverlayError):
     """Stored content could not be retrieved (offline replicas, missing id)."""
 
 
 class QuorumWriteError(StorageError):
     """A replicated write gathered fewer acks than the write quorum W."""
+
+
+class OverloadedError(StorageError):
+    """A peer shed the request because its service queue was full.
+
+    The typed fast-failure of the overload stack: unlike a timeout the
+    caller learns *immediately* (one round trip) that the destination is
+    saturated, so backing off is cheap.  A :class:`StorageError` subclass
+    so existing ``except (LookupError_, StorageError)`` workload loops
+    keep counting it as an unavailable read.
+    """
 
 
 class SimulationError(ReproError):

@@ -35,6 +35,7 @@ import warnings
 from typing import Any, Optional
 
 from repro.exceptions import ReproDeprecationWarning, SimulationError
+from repro.faults.overload import OverloadConfig, RetryBudget
 from repro.faults.resilience import (CircuitBreaker, ReliableChannel,
                                      RetryPolicy)
 from repro.obs.metrics import MetricsRegistry
@@ -52,7 +53,8 @@ class Fabric:
                  channel: Optional[ReliableChannel] = None,
                  tracer: Optional[Any] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 rng: Optional[_random.Random] = None) -> None:
+                 rng: Optional[_random.Random] = None,
+                 overload: Optional[OverloadConfig] = None) -> None:
         if network.sim is not sim:
             raise SimulationError(
                 "fabric network must run on the fabric simulator")
@@ -67,6 +69,15 @@ class Fabric:
         #: the attached :class:`repro.membership.SwimMembership` (None
         #: keeps every layer on the legacy oracle path, byte-identical)
         self.membership: Optional[Any] = None
+        #: the overload-protection config (None = fair-weather fabric,
+        #: byte-identical).  Overlays and stores read
+        #: :meth:`OverloadConfig.mint_deadline` from here to start a
+        #: per-operation deadline at their public entry points.
+        self.overload: Optional[OverloadConfig] = overload
+        if overload is not None:
+            network.install_overload(overload)
+            if channel is not None and overload.retry_budget is not None:
+                channel.retry_budget = RetryBudget(overload.retry_budget)
         self._rng = rng
 
     @classmethod
@@ -76,7 +87,8 @@ class Fabric:
                resilient: bool = False,
                retry: Optional[RetryPolicy] = None,
                breaker: Optional[CircuitBreaker] = None,
-               concurrent: bool = False) -> "Fabric":
+               concurrent: bool = False,
+               overload: Optional[OverloadConfig] = None) -> "Fabric":
         """Build a full fabric from a seed.
 
         ``tracing=True`` installs a real :class:`~repro.obs.trace.Tracer`
@@ -87,6 +99,11 @@ class Fabric:
         the fan-out layers to critical-path latency accounting (see
         :mod:`repro.overlay.simulator`); off, every combinator reports
         the legacy serial sum, byte-identical to committed tables.
+        ``overload=OverloadConfig(...)`` installs the overload-protection
+        stack (per-peer service queues + shedding on the network,
+        deadline minting for lookups and quorum reads, a shared retry
+        budget on the channel, adaptive attempt timeouts); ``None``
+        keeps the fair-weather fabric byte-identical.
         """
         sim = Simulator(seed, concurrent=concurrent)
         tracer = Tracer(lambda: sim.now, wall_clock=wall_clock) if tracing \
@@ -98,7 +115,7 @@ class Fabric:
         if resilient or retry is not None or breaker is not None:
             channel = ReliableChannel(network, retry, breaker)
         return cls(sim, network, channel=channel, tracer=tracer,
-                   metrics=metrics)
+                   metrics=metrics, overload=overload)
 
     def attach_membership(self, membership: Any) -> None:
         """Install a membership service as the fabric's liveness source.

@@ -15,7 +15,12 @@ trade-off measurable instead of assumed:
 * :mod:`repro.faults.byzantine` — holder-level Byzantine faults
   (:class:`StaleServe`, :class:`Equivocate`, :class:`CorruptBlob`):
   replica peers that serve stale, forked, or garbled data, the adversary
-  the quorum-read store (:mod:`repro.storage2`) is built to defeat.
+  the quorum-read store (:mod:`repro.storage2`) is built to defeat;
+* :mod:`repro.faults.overload` — the overload-protection stack
+  (:class:`ServiceConfig` per-peer service queues with load shedding,
+  :class:`Deadline` propagation, :class:`RetryBudget` token buckets,
+  :class:`AdaptiveTimeout` EWMA attempt timeouts), threaded through the
+  fabric by :class:`OverloadConfig` and exercised by experiment E18.
 
 Experiment E12 (``benchmarks/bench_fault_tolerance.py``) sweeps fault
 intensity against resilience policy; E14
@@ -24,13 +29,18 @@ intensity against resilience policy; E14
 
 from repro.faults.byzantine import (CorruptBlob, Equivocate, HolderFault,
                                     StaleServe)
+from repro.faults.overload import (AdaptiveTimeout, AdaptiveTimeoutConfig,
+                                   Deadline, OverloadConfig, RetryBudget,
+                                   RetryBudgetConfig, ServiceConfig)
 from repro.faults.plan import (Corruption, Crash, FaultPlan, LossBurst,
                                Partition, SlowLink)
 from repro.faults.resilience import (BREAKER_STATE_VALUES, CircuitBreaker,
                                      ReliableChannel, RetryPolicy)
 
 __all__ = [
-    "BREAKER_STATE_VALUES", "CircuitBreaker", "CorruptBlob", "Corruption",
-    "Crash", "Equivocate", "FaultPlan", "HolderFault", "LossBurst",
-    "Partition", "ReliableChannel", "RetryPolicy", "SlowLink", "StaleServe",
+    "AdaptiveTimeout", "AdaptiveTimeoutConfig", "BREAKER_STATE_VALUES",
+    "CircuitBreaker", "CorruptBlob", "Corruption", "Crash", "Deadline",
+    "Equivocate", "FaultPlan", "HolderFault", "LossBurst", "OverloadConfig",
+    "Partition", "ReliableChannel", "RetryBudget", "RetryBudgetConfig",
+    "RetryPolicy", "ServiceConfig", "SlowLink", "StaleServe",
 ]

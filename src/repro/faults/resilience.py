@@ -12,7 +12,12 @@ injects:
   half-open probe is allowed through;
 * **hedged calls** against replica sets (:meth:`ReliableChannel.hedged`)
   — the first reachable holder serves the request, so a crashed or
-  partitioned owner does not make the content unavailable.
+  partitioned owner does not make the content unavailable;
+* **overload awareness** (opt-in, see :mod:`repro.faults.overload`) —
+  calls accept a propagated :class:`~repro.faults.overload.Deadline`
+  and fail fast once it expires, retries draw from a shared
+  :class:`~repro.faults.overload.RetryBudget` token bucket, and a shed
+  (``overloaded``) response never feeds the circuit breaker.
 
 Every retry, breaker trip, fast-fail, and hedge is counted in the
 network's :class:`NetworkStats`, so experiment E12 can price the
@@ -27,9 +32,10 @@ from __future__ import annotations
 
 import random as _random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import SimulationError
+from repro.faults.overload import Deadline, RetryBudget
 from repro.overlay.simulator import SimFuture
 
 
@@ -41,16 +47,26 @@ class RetryPolicy:
     base_delay: float = 0.25
     multiplier: float = 2.0
     jitter: float = 0.5
+    #: cap on the exponential term — without one, ``base * mult**attempt``
+    #: grows unbounded and a long retry loop can sleep for hours of
+    #: virtual time (the default cap is far above what the default three
+    #: attempts can reach, so existing behaviour is unchanged)
+    max_delay: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise SimulationError("need at least one attempt")
         if not 0.0 <= self.jitter <= 1.0:
             raise SimulationError("jitter must be in [0, 1]")
+        if self.max_delay <= 0:
+            raise SimulationError("max_delay must be positive")
+        if self.base_delay > self.max_delay:
+            raise SimulationError("base_delay cannot exceed max_delay")
 
     def backoff(self, attempt: int, rng: _random.Random) -> float:
-        """Delay before retry number ``attempt`` (0-based)."""
-        delay = self.base_delay * (self.multiplier ** attempt)
+        """Delay before retry number ``attempt`` (0-based), capped."""
+        delay = min(self.base_delay * (self.multiplier ** attempt),
+                    self.max_delay)
         return delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
@@ -60,37 +76,59 @@ class CircuitBreaker:
 
     ``failure_threshold`` consecutive failures open the breaker for
     ``cooldown`` virtual seconds; while open, calls fail fast.  After the
-    cooldown one half-open probe is allowed; success closes the breaker,
-    failure re-opens it.
+    cooldown exactly **one** half-open probe is admitted per destination;
+    concurrent callers fail fast until that probe's outcome is recorded
+    (success closes the breaker, failure re-opens it).  Without the
+    single-probe claim, every caller whose cooldown had elapsed would
+    stampede the recovering peer at once — the thundering herd the
+    breaker exists to prevent.
     """
 
     failure_threshold: int = 4
     cooldown: float = 30.0
     _failures: Dict[str, int] = field(default_factory=dict, repr=False)
     _opened_at: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: destinations with a half-open probe currently in flight
+    _probing: Set[str] = field(default_factory=set, repr=False)
 
-    def allow(self, dst: str, now: float) -> bool:
-        """Whether a call to ``dst`` may proceed at virtual time ``now``."""
+    def _may_call(self, dst: str, now: float) -> bool:
+        """Pure admission check — no probe slot is claimed."""
         opened = self._opened_at.get(dst)
         if opened is None:
             return True
-        if now - opened >= self.cooldown:
-            return True  # half-open probe
+        return now - opened >= self.cooldown and dst not in self._probing
+
+    def allow(self, dst: str, now: float) -> bool:
+        """Whether a call to ``dst`` may proceed at virtual time ``now``.
+
+        An allowed call against an open-but-cooled-down destination
+        *claims* the single half-open probe slot; the caller must report
+        back via :meth:`record_success` / :meth:`record_failure` to
+        release it.  Use :meth:`is_open` to inspect without claiming.
+        """
+        opened = self._opened_at.get(dst)
+        if opened is None:
+            return True
+        if now - opened >= self.cooldown and dst not in self._probing:
+            self._probing.add(dst)  # the one half-open probe
+            return True
         return False
 
     def is_open(self, dst: str, now: float) -> bool:
         """Whether the breaker is holding calls to ``dst`` back."""
-        return not self.allow(dst, now)
+        return not self._may_call(dst, now)
 
     def record_success(self, dst: str) -> None:
         """A call to ``dst`` succeeded: close the breaker."""
         self._failures.pop(dst, None)
         self._opened_at.pop(dst, None)
+        self._probing.discard(dst)
 
     def record_failure(self, dst: str, now: float) -> bool:
         """A call to ``dst`` failed; returns True when this trips it open."""
         if dst in self._opened_at:
             self._opened_at[dst] = now  # failed half-open probe re-opens
+            self._probing.discard(dst)
             return False
         count = self._failures.get(dst, 0) + 1
         self._failures[dst] = count
@@ -140,6 +178,11 @@ class ReliableChannel:
         #: fail fast, suspicious ones get a single attempt, and the
         #: breaker is neither consulted nor updated for the call.
         self.membership = None
+        #: a shared :class:`repro.faults.RetryBudget` capping cluster-wide
+        #: retry amplification, set by :class:`repro.fabric.Fabric` when
+        #: an overload config asks for one.  ``None`` = unbudgeted
+        #: retries (the legacy behaviour).
+        self.retry_budget: Optional[RetryBudget] = None
         self._rng = network.sim.split_rng("reliable-channel")
 
     def _view_of(self, src: str):
@@ -154,7 +197,8 @@ class ReliableChannel:
             BREAKER_STATE_VALUES[state])
 
     def call(self, src: str, dst: str, kind: str = "rpc",
-             payload_size: int = 64) -> Tuple[bool, float]:
+             payload_size: int = 64,
+             deadline: Optional[Deadline] = None) -> Tuple[bool, float]:
         """One logical request/response with retries and breaker checks.
 
         Returns ``(ok, elapsed)`` where ``elapsed`` includes every
@@ -169,13 +213,31 @@ class ReliableChannel:
         phi exceeds the suspect level gets a single attempt (retries are
         for peers believed alive), and a successful call feeds back into
         the view as proof of life.
+
+        Overload protection (all opt-in): an expired ``deadline`` fails
+        the call before the next attempt is issued; retries beyond the
+        first attempt draw from the channel's shared
+        :attr:`retry_budget` when one is set (an empty bucket means no
+        retry); a shed attempt (the destination rejected for overload)
+        does **not** feed the circuit breaker — the peer is alive and
+        telling us so, and opening the breaker on honesty would punish
+        exactly the peers that shed instead of timing out.
         """
+        ok, elapsed, _cause = self._call(src, dst, kind, payload_size,
+                                         deadline)
+        return (ok, elapsed)
+
+    def _call(self, src: str, dst: str, kind: str, payload_size: int,
+              deadline: Optional[Deadline]
+              ) -> Tuple[bool, float, Optional[str]]:
+        """The :meth:`call` engine; also reports the last failure cause."""
         stats = self.network.stats
         with self.network.tracer.span("channel.call", kind=kind, src=src,
                                       dst=dst) as span:
             elapsed = 0.0
             attempts = 0
             outcome = "exhausted"
+            cause: Optional[str] = None
             max_attempts = self.policy.max_attempts
             view = self._view_of(src)
             if view is not None:
@@ -185,20 +247,31 @@ class ReliableChannel:
                                              kind=kind)
                     span.set_attr("attempts", 0)
                     span.set_attr("outcome", "membership_fastfail")
-                    return (False, 0.0)
+                    return (False, 0.0, "membership_fastfail")
                 if view.suspicious(dst, self.network.sim.now):
                     max_attempts = 1
             for attempt in range(max_attempts):
                 now = self.network.sim.now
+                if deadline is not None and deadline.expired(now, elapsed):
+                    # nobody is waiting for this answer any more: fail
+                    # fast instead of issuing a doomed attempt
+                    stats.deadline_expired += 1
+                    self.network.metrics.inc("overload.deadline_expired",
+                                             kind=kind)
+                    outcome = cause = "deadline_expired"
+                    break
                 if view is None and self.breaker is not None \
                         and not self.breaker.allow(dst, now):
                     stats.breaker_fastfails += 1
                     self._export_breaker_state(dst)
                     outcome = "breaker_fastfail"
+                    cause = cause or "breaker_fastfail"
                     break
                 attempts += 1
-                ok, rtt = self.network.rpc(src, dst, kind=kind,
-                                           payload_size=payload_size)
+                future = self.network.rpc_issue(src, dst, kind=kind,
+                                                payload_size=payload_size)
+                ok, rtt = future.value
+                cause = future.cause
                 elapsed += rtt
                 if ok:
                     if view is not None:
@@ -206,24 +279,35 @@ class ReliableChannel:
                     elif self.breaker is not None:
                         self.breaker.record_success(dst)
                         self._export_breaker_state(dst)
+                    if self.retry_budget is not None:
+                        self.retry_budget.on_success()
                     span.set_attr("attempts", attempts)
                     span.set_attr("outcome", "ok")
-                    return (True, elapsed)
-                if view is None and self.breaker is not None:
+                    return (True, elapsed, None)
+                if view is None and self.breaker is not None \
+                        and cause != "overloaded":
                     if self.breaker.record_failure(dst, now):
                         stats.breaker_trips += 1
                     self._export_breaker_state(dst)
                 if attempt + 1 < max_attempts:
+                    if self.retry_budget is not None \
+                            and not self.retry_budget.try_spend():
+                        stats.budget_exhausted += 1
+                        self.network.metrics.inc("overload.budget_exhausted",
+                                                 kind=kind)
+                        outcome = "budget_exhausted"
+                        break
                     stats.retries += 1
                     backoff = self.policy.backoff(attempt, self._rng)
                     elapsed += backoff
                     span.add_cost(backoff)
             span.set_attr("attempts", attempts)
             span.set_attr("outcome", outcome)
-            return (False, elapsed)
+            return (False, elapsed, cause)
 
     def call_issue(self, src: str, dst: str, kind: str = "rpc",
-                   payload_size: int = 64) -> SimFuture:
+                   payload_size: int = 64,
+                   deadline: Optional[Deadline] = None) -> SimFuture:
         """Issue one logical call as a completion token.
 
         The call's retries and backoffs remain internally sequential
@@ -232,14 +316,18 @@ class ReliableChannel:
         destination and combine with
         :func:`repro.overlay.simulator.quorum_of` /
         :func:`~repro.overlay.simulator.gather`.  Draw order is exactly
-        a sequential loop's.
+        a sequential loop's.  The future's ``cause`` carries the last
+        attempt's failure cause (``"overloaded"`` for a shed), so quorum
+        layers can price sheds differently from timeouts.
         """
-        ok, elapsed = self.call(src, dst, kind=kind,
-                                payload_size=payload_size)
-        return self.network.sim.future(elapsed, value=(ok, elapsed), ok=ok)
+        ok, elapsed, cause = self._call(src, dst, kind, payload_size,
+                                        deadline)
+        return self.network.sim.future(elapsed, value=(ok, elapsed), ok=ok,
+                                       cause=cause)
 
     def hedged(self, src: str, dsts: Sequence[str], kind: str = "rpc",
-               payload_size: int = 64) -> Tuple[bool, Optional[str], float]:
+               payload_size: int = 64, deadline: Optional[Deadline] = None
+               ) -> Tuple[bool, Optional[str], float]:
         """Race a request across replica holders; first success wins.
 
         Each candidate gets one attempt (the hedge replaces the retry);
@@ -266,19 +354,26 @@ class ReliableChannel:
                 dsts = self.membership.order_by_health(src, dsts)
             if self.network.sim.concurrent:
                 return self._hedged_concurrent(src, dsts, kind,
-                                               payload_size, span, view)
+                                               payload_size, span, view,
+                                               deadline)
             elapsed = 0.0
             for i, dst in enumerate(dsts):
+                now = self.network.sim.now
+                if deadline is not None and deadline.expired(now, elapsed):
+                    stats.deadline_expired += 1
+                    self.network.metrics.inc("overload.deadline_expired",
+                                             kind=kind)
+                    break
                 if i > 0:
                     stats.hedges += 1
-                now = self.network.sim.now
                 if view is None and self.breaker is not None \
                         and not self.breaker.allow(dst, now):
                     stats.breaker_fastfails += 1
                     self._export_breaker_state(dst)
                     continue
-                ok, rtt = self.network.rpc(src, dst, kind=kind,
-                                           payload_size=payload_size)
+                future = self.network.rpc_issue(src, dst, kind=kind,
+                                                payload_size=payload_size)
+                ok, rtt = future.value
                 elapsed += rtt
                 if ok:
                     if view is not None:
@@ -288,7 +383,8 @@ class ReliableChannel:
                         self._export_breaker_state(dst)
                     span.set_attr("winner", dst)
                     return (True, dst, elapsed)
-                if view is None and self.breaker is not None:
+                if view is None and self.breaker is not None \
+                        and future.cause != "overloaded":
                     if self.breaker.record_failure(dst, now):
                         stats.breaker_trips += 1
                     self._export_breaker_state(dst)
@@ -296,7 +392,8 @@ class ReliableChannel:
             return (False, None, elapsed)
 
     def _hedged_concurrent(self, src: str, dsts: Sequence[str], kind: str,
-                           payload_size: int, span, view
+                           payload_size: int, span, view,
+                           deadline: Optional[Deadline] = None
                            ) -> Tuple[bool, Optional[str], float]:
         """True hedging on the concurrent clock (see :meth:`hedged`)."""
         stats = self.network.stats
@@ -308,9 +405,14 @@ class ReliableChannel:
                              if future.ok), default=None)
             if first_win is not None and first_win <= launch_at:
                 break  # an earlier request won before this hedge fires
+            now = self.network.sim.now
+            if deadline is not None and deadline.expired(now, launch_at):
+                stats.deadline_expired += 1
+                self.network.metrics.inc("overload.deadline_expired",
+                                         kind=kind)
+                break
             if i > 0:
                 stats.hedges += 1
-            now = self.network.sim.now
             if view is None and self.breaker is not None \
                     and not self.breaker.allow(dst, now):
                 stats.breaker_fastfails += 1
@@ -325,7 +427,8 @@ class ReliableChannel:
                 elif self.breaker is not None:
                     self.breaker.record_success(dst)
                     self._export_breaker_state(dst)
-            elif view is None and self.breaker is not None:
+            elif view is None and self.breaker is not None \
+                    and future.cause != "overloaded":
                 if self.breaker.record_failure(dst, now):
                     stats.breaker_trips += 1
                 self._export_breaker_state(dst)

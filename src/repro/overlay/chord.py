@@ -27,8 +27,10 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.exceptions import (LookupError_, OverlayError,
+from repro.exceptions import (DeadlineExceededError, LookupError_,
+                              OverlayError, OverloadedError,
                               ReproDeprecationWarning, StorageError)
+from repro.faults.overload import Deadline
 from repro.overlay.network import SimNode
 
 #: Identifier-space size in bits.
@@ -143,10 +145,16 @@ class ChordRing:
             self.channel = channel
         self.nodes: Dict[str, ChordNode] = {}
 
-    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
-        """One accounted RPC, through the resilient channel when wired."""
+    def _rpc(self, src: str, dst: str, kind: str,
+             deadline: Optional[Deadline] = None) -> Tuple[bool, float]:
+        """One accounted RPC, through the resilient channel when wired.
+
+        ``deadline`` is the caller's *remaining* budget (already
+        decremented by time spent on earlier hops); the bare network
+        path ignores it — deadline enforcement is channel machinery.
+        """
         if self.channel is not None:
-            return self.channel.call(src, dst, kind=kind)
+            return self.channel.call(src, dst, kind=kind, deadline=deadline)
         return self.network.rpc(src, dst, kind=kind)
 
     # -- construction -----------------------------------------------------------
@@ -199,8 +207,8 @@ class ChordRing:
         ids = [node.chord_id for node in ordered]
         return ordered[self._successor_index(ids, chord_id(key))].node_id
 
-    def lookup(self, start: str, key: str,
-               max_hops: int = 64) -> LookupResult:
+    def lookup(self, start: str, key: str, max_hops: int = 64,
+               deadline: Optional[Deadline] = None) -> LookupResult:
         """Iterative Chord lookup from ``start`` for ``key``.
 
         Each routing step is one accounted RPC; offline peers cost a
@@ -216,11 +224,21 @@ class ChordRing:
         set is pre-seeded with every peer the *start* node's view has
         confirmed dead — the lookup detours before paying for the first
         failed probe, which is the health-aware-routing half of E15.
+
+        Deadline propagation: when the fabric carries an
+        :class:`~repro.faults.OverloadConfig` with an op budget (or the
+        caller passes ``deadline=``), every hop first checks the time
+        already spent against the budget — an exhausted one raises
+        :class:`~repro.exceptions.DeadlineExceededError` *before* the
+        next RPC is issued — and each hop's channel call sees only the
+        remaining budget (``deadline.minus(rtt)``).
         """
         key_id = chord_id(key)
         current = self.nodes.get(start)
         if current is None or not current.online:
             raise LookupError_(f"start node {start!r} is not online")
+        if deadline is None and self.fabric.overload is not None:
+            deadline = self.fabric.overload.mint_deadline(self.network.sim.now)
         view = None
         if self.fabric.membership is not None:
             view = self.fabric.membership.view_of(start)
@@ -234,6 +252,16 @@ class ChordRing:
             if view is not None:
                 avoid.update(view.dead_peers())
             while hops < max_hops:
+                if deadline is not None \
+                        and deadline.expired(self.network.sim.now, rtt):
+                    self.network.stats.deadline_expired += 1
+                    self.network.metrics.inc("overload.deadline_expired",
+                                             kind="chord_lookup")
+                    raise DeadlineExceededError(
+                        f"lookup for {key!r} ran out of budget after "
+                        f"{hops} hops ({rtt:.3f}s spent)")
+                hop_deadline = None if deadline is None \
+                    else deadline.minus(rtt)
                 successor = current.first_live_successor(self, avoid)
                 if successor is None:
                     raise LookupError_(
@@ -243,7 +271,8 @@ class ChordRing:
                 if in_interval(key_id, current.chord_id, succ_node.chord_id,
                                inclusive_right=True):
                     ok, t = self._rpc(current.node_id, successor,
-                                      kind="chord_final")
+                                      kind="chord_final",
+                                      deadline=hop_deadline)
                     rtt += t
                     hops += 1
                     if ok:
@@ -260,7 +289,7 @@ class ChordRing:
                 if next_hop is None:
                     next_hop = successor
                 ok, t = self._rpc(current.node_id, next_hop,
-                                  kind="chord_step")
+                                  kind="chord_step", deadline=hop_deadline)
                 rtt += t
                 hops += 1
                 if ok:
@@ -312,12 +341,17 @@ class ChordRing:
         of :func:`repro.overlay.replication.fetch_from_holders`.
         """
         with self.network.tracer.span("chord.get", key=key, start=start):
-            return self._get_inner(start, key)
+            deadline = None
+            if self.fabric.overload is not None:
+                deadline = self.fabric.overload.mint_deadline(
+                    self.network.sim.now)
+            return self._get_inner(start, key, deadline)
 
-    def _get_inner(self, start: str, key: str
+    def _get_inner(self, start: str, key: str,
+                   deadline: Optional[Deadline] = None
                    ) -> Tuple[bytes, LookupResult]:
         if self.channel is None:
-            result = self.lookup(start, key)
+            result = self.lookup(start, key, deadline=deadline)
             for replica in [result.owner] + self.replica_set(key):
                 node = self.nodes.get(replica)
                 if node is not None and node.online and key in node.store:
@@ -329,10 +363,15 @@ class ChordRing:
                     return node.store[key], result
             raise StorageError(
                 f"key {key!r} unavailable: no live replica holds it")
+        spent = 0.0
         try:
-            result: Optional[LookupResult] = self.lookup(start, key)
+            result: Optional[LookupResult] = self.lookup(start, key,
+                                                         deadline=deadline)
+            spent = result.rtt
         except LookupError_:
             result = None  # routing failed; fall back to direct replica reads
+            # (a DeadlineExceededError deliberately propagates instead:
+            # an exhausted budget must not trigger the hedged fallback)
         owner = result.owner if result is not None else self.owner_of(key)
         candidates = [owner] + [r for r in self.replica_set(key)
                                 if r != owner]
@@ -342,20 +381,38 @@ class ChordRing:
             candidates = self.fabric.membership.order_by_health(
                 start, candidates)
         probed = 0
+        sheds = 0
         for replica in candidates:
             node = self.nodes.get(replica)
             if node is None or key not in node.store:
                 continue  # crashed holders lost the key with their state
+            if deadline is not None \
+                    and deadline.expired(self.network.sim.now, spent):
+                self.network.stats.deadline_expired += 1
+                self.network.metrics.inc("overload.deadline_expired",
+                                         kind="chord_replica_read")
+                raise DeadlineExceededError(
+                    f"read of {key!r} ran out of budget after "
+                    f"{probed} replica probes")
             if probed > 0:
                 self.network.stats.hedges += 1
             probed += 1
-            ok, rtt = self.channel.call(start, replica,
-                                        kind="chord_replica_read")
+            future = self.channel.call_issue(
+                start, replica, kind="chord_replica_read",
+                deadline=None if deadline is None else deadline.minus(spent))
+            ok, rtt = future.value
+            spent += rtt
             if ok:
                 if result is None:
                     result = LookupResult(owner=replica, hops=0, rtt=rtt,
                                           failed_probes=0)
                 return node.store[key], result
+            if future.cause == "overloaded":
+                sheds += 1
+        if sheds:
+            raise OverloadedError(
+                f"key {key!r} unavailable: {sheds} of {probed} replica "
+                "probes were shed by overloaded holders")
         raise StorageError(
             f"key {key!r} unavailable: no reachable replica holds it")
 
@@ -412,10 +469,26 @@ class ChordRing:
 
     def _get_group(self, start: str, owner: str, group: List[str],
                    results: Dict[str, object]) -> None:
-        """Serve one owner-group of keys over a single route."""
+        """Serve one owner-group of keys over a single route.
+
+        Deadline semantics match the batch contract: an exhausted budget
+        becomes a :class:`DeadlineExceededError` *value* for the group's
+        unserved keys (one starved group never fails the whole feed
+        fan-out).
+        """
+        deadline = None
+        if self.fabric.overload is not None:
+            deadline = self.fabric.overload.mint_deadline(self.network.sim.now)
         routed: Optional[str] = None
+        spent = 0.0
         try:
-            routed = self.lookup(start, group[0]).owner
+            route_result = self.lookup(start, group[0], deadline=deadline)
+            routed = route_result.owner
+            spent = route_result.rtt
+        except DeadlineExceededError as exc:
+            for key in group:
+                results[key] = exc
+            return
         except LookupError_ as exc:
             if self.channel is None:
                 for key in group:
@@ -430,6 +503,7 @@ class ChordRing:
             candidates = self.fabric.membership.order_by_health(
                 start, candidates)
         pending: Set[str] = set(group)
+        expired = None
         for replica in candidates:
             if not pending:
                 break
@@ -439,12 +513,25 @@ class ChordRing:
             served = [k for k in group if k in pending and k in node.store]
             if not served:
                 continue
-            if self.channel is not None:
-                ok, _ = self.channel.call(start, replica,
-                                          kind="chord_batch_fetch")
-            elif replica != routed:
-                ok, _ = self.network.rpc(routed, replica,
+            if deadline is not None \
+                    and deadline.expired(self.network.sim.now, spent):
+                self.network.stats.deadline_expired += 1
+                self.network.metrics.inc("overload.deadline_expired",
                                          kind="chord_batch_fetch")
+                expired = DeadlineExceededError(
+                    f"batch fetch ran out of budget with "
+                    f"{len(pending)} keys unserved")
+                break
+            if self.channel is not None:
+                ok, t = self.channel.call(
+                    start, replica, kind="chord_batch_fetch",
+                    deadline=None if deadline is None
+                    else deadline.minus(spent))
+                spent += t
+            elif replica != routed:
+                ok, t = self.network.rpc(routed, replica,
+                                         kind="chord_batch_fetch")
+                spent += t
             else:
                 ok = True  # the route already landed here; its keys ride free
             if not ok:
@@ -454,8 +541,10 @@ class ChordRing:
                 pending.discard(key)
         for key in group:
             if key in pending:
-                results[key] = StorageError(
-                    f"key {key!r} unavailable: no reachable replica holds it")
+                results[key] = expired if expired is not None \
+                    else StorageError(
+                        f"key {key!r} unavailable: no reachable replica "
+                        "holds it")
 
     # -- incremental protocol (join / stabilize), used by the tests --------------
 

@@ -19,8 +19,10 @@ import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.exceptions import (LookupError_, OverlayError,
-                              ReproDeprecationWarning, StorageError)
+from repro.exceptions import (DeadlineExceededError, LookupError_,
+                              OverlayError, ReproDeprecationWarning,
+                              StorageError)
+from repro.faults.overload import Deadline
 from repro.overlay.network import SimNode
 
 ID_BITS = 64
@@ -114,10 +116,11 @@ class KademliaOverlay:
             self.channel = channel
         self.nodes: Dict[str, KademliaNode] = {}
 
-    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
+    def _rpc(self, src: str, dst: str, kind: str,
+             deadline: Optional[Deadline] = None) -> Tuple[bool, float]:
         """One accounted RPC, through the resilient channel when wired."""
         if self.channel is not None:
-            return self.channel.call(src, dst, kind=kind)
+            return self.channel.call(src, dst, kind=kind, deadline=deadline)
         return self.network.rpc(src, dst, kind=kind)
 
     def add_node(self, name: str) -> KademliaNode:
@@ -140,8 +143,8 @@ class KademliaOverlay:
 
     # -- iterative lookup ---------------------------------------------------------
 
-    def lookup(self, start: str, key: str,
-               find_value: bool = False) -> KadLookupResult:
+    def lookup(self, start: str, key: str, find_value: bool = False,
+               deadline: Optional[Deadline] = None) -> KadLookupResult:
         """Iterative FIND_NODE / FIND_VALUE from ``start`` toward ``key``.
 
         ``alpha`` concurrent queries per round (charged as RPCs); terminates
@@ -153,11 +156,19 @@ class KademliaOverlay:
         queries are the protocol's namesake concurrency, so under
         :attr:`Simulator.concurrent` each round is a parallel span and
         its queries roll up as max.
+
+        As in :meth:`ChordRing.lookup <repro.overlay.chord.ChordRing
+        .lookup>`, a ``deadline`` (minted from the fabric's overload
+        config when not supplied) is checked before every FIND RPC and
+        decremented by the time already spent; exhaustion raises
+        :class:`~repro.exceptions.DeadlineExceededError`.
         """
         target_id = kad_id(key)
         origin = self.nodes.get(start)
         if origin is None or not origin.online:
             raise LookupError_(f"start node {start!r} is not online")
+        if deadline is None and self.fabric.overload is not None:
+            deadline = self.fabric.overload.mint_deadline(self.network.sim.now)
         shortlist = origin.closest_known(target_id, self.k)
         if not shortlist:
             raise LookupError_("empty routing table; bootstrap first")
@@ -169,6 +180,7 @@ class KademliaOverlay:
             queried: Set[str] = set()
             hops = 0
             rpcs = 0
+            spent = 0.0
             best = min(xor_distance(kad_id(n), target_id) for n in shortlist)
             while True:
                 # Peers the start's membership view has confirmed dead
@@ -189,8 +201,20 @@ class KademliaOverlay:
                               else contextlib.nullcontext(None))
                 with round_span:
                     for peer_name in batch:
+                        if deadline is not None and deadline.expired(
+                                self.network.sim.now, spent):
+                            self.network.stats.deadline_expired += 1
+                            self.network.metrics.inc(
+                                "overload.deadline_expired", kind="kad_find")
+                            raise DeadlineExceededError(
+                                f"kad lookup for {key!r} ran out of budget "
+                                f"after {rpcs} RPCs ({spent:.3f}s spent)")
                         queried.add(peer_name)
-                        ok, _ = self._rpc(start, peer_name, kind="kad_find")
+                        ok, t = self._rpc(
+                            start, peer_name, kind="kad_find",
+                            deadline=None if deadline is None
+                            else deadline.minus(spent))
+                        spent += t
                         rpcs += 1
                         if not ok:
                             continue

@@ -66,7 +66,12 @@ class NetworkStats:
     ``breaker_trips``, ``breaker_fastfails``, ``hedges``) are incremented
     by :class:`repro.faults.ReliableChannel`, and ``fault_drops`` /
     ``corrupted`` attribute losses to an installed fault plan — E12 reads
-    all of them.
+    all of them.  The overload counters (``shed``: requests rejected or
+    dropped by a full service queue, ``deadline_expired``: operations
+    abandoned because their propagated deadline ran out,
+    ``budget_exhausted``: retries denied by the channel's token bucket)
+    stay zero unless an :class:`repro.faults.OverloadConfig` is
+    installed — E18 reads them.
 
     Superseded by the dimensional :class:`repro.obs.MetricsRegistry` on
     :attr:`SimNetwork.metrics` (per-kind, per-cause, per-direction
@@ -86,6 +91,9 @@ class NetworkStats:
     hedges: int = 0
     fault_drops: int = 0
     corrupted: int = 0
+    shed: int = 0
+    deadline_expired: int = 0
+    budget_exhausted: int = 0
     by_kind: Counter = field(default_factory=Counter)
 
     def reset(self) -> None:
@@ -100,6 +108,9 @@ class NetworkStats:
         self.hedges = 0
         self.fault_drops = 0
         self.corrupted = 0
+        self.shed = 0
+        self.deadline_expired = 0
+        self.budget_exhausted = 0
         self.by_kind.clear()
 
     def summary(self) -> Dict[str, int]:
@@ -124,6 +135,9 @@ class NetworkStats:
             "breaker_fastfails": self.breaker_fastfails,
             "hedges": self.hedges,
             "fault_drops": self.fault_drops,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
+            "budget_exhausted": self.budget_exhausted,
         }
 
 
@@ -203,6 +217,14 @@ class SimNetwork:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._rng = sim.split_rng("network")
         self.faults = None
+        #: per-peer service model (None = fair-weather: RPCs are free for
+        #: the server) — see :meth:`install_overload`
+        self.service = None
+        self._adaptive = None
+        #: absolute virtual time until which each peer's queue is busy
+        self._busy_until: Dict[str, float] = {}
+        #: deepest backlog ever observed per destination (jobs waiting)
+        self.queue_peak: Dict[str, int] = {}
         if faults is not None:
             self.install_faults(faults)
 
@@ -216,6 +238,37 @@ class SimNetwork:
             raise SimulationError("a fault plan is already installed")
         plan.bind(self)
         self.faults = plan
+
+    def install_overload(self, config: Optional[Any]) -> None:
+        """Attach an :class:`repro.faults.OverloadConfig` service model.
+
+        With a :class:`~repro.faults.ServiceConfig` installed every RPC
+        destination processes one request per ``service_time`` and keeps
+        a bounded FIFO backlog; :meth:`rpc_issue` charges the queueing
+        delay on top of wire latency, and a full queue sheds.  With an
+        adaptive-timeout config, successful RTTs per destination feed an
+        EWMA that replaces the fixed attempt timeout.  ``None`` is a
+        no-op: no service state exists and every draw, span, and counter
+        stays byte-identical to the fair-weather fabric.
+        """
+        if config is None:
+            return
+        if self.service is not None:
+            raise SimulationError("an overload config is already installed")
+        self.service = config.service
+        if config.adaptive_timeout is not None:
+            from repro.faults.overload import AdaptiveTimeout
+            self._adaptive = AdaptiveTimeout(config.adaptive_timeout)
+
+    def queue_depth(self, dst: str, now: Optional[float] = None) -> int:
+        """Jobs currently queued or in service at ``dst`` (0 when idle)."""
+        if self.service is None:
+            return 0
+        backlog = self._busy_until.get(dst, 0.0) - \
+            (self.sim.now if now is None else now)
+        if backlog <= 0:
+            return 0
+        return max(1, round(backlog / self.service.service_time))
 
     def register(self, node: SimNode) -> None:
         """Add a peer to the fabric."""
@@ -344,10 +397,11 @@ class SimNetwork:
         self.stats.by_kind[kind] += 1
         with self.tracer.span("net.rpc", kind=kind, src=src,
                               dst=dst) as span:
-            ok, rtt = self._rpc_inner(src, dst, kind, payload_size, span)
+            ok, rtt, cause = self._rpc_inner(src, dst, kind, payload_size,
+                                             span)
             span.set_attr("ok", ok)
             span.add_cost(rtt)
-        return self.sim.future(rtt, value=(ok, rtt), ok=ok)
+        return self.sim.future(rtt, value=(ok, rtt), ok=ok, cause=cause)
 
     def rpc(self, src: str, dst: str, kind: str = "rpc",
             payload_size: int = 64) -> Tuple[bool, float]:
@@ -372,8 +426,47 @@ class SimNetwork:
         """
         return self.rpc_issue(src, dst, kind, payload_size).value
 
+    def _timeout_cost(self, dst: str, out: float) -> float:
+        """What one abandoned attempt against ``dst`` costs the caller.
+
+        Cascade: the adaptive per-destination EWMA estimate when one
+        exists, else the fixed :attr:`ServiceConfig.timeout` when a
+        service model is installed, else the legacy ``4 * out``
+        heuristic — so with ``overload=None`` every timeout is priced
+        exactly as before.
+        """
+        if self._adaptive is not None:
+            adaptive = self._adaptive.timeout_for(dst)
+            if adaptive is not None:
+                return adaptive
+        if self.service is not None:
+            return self.service.timeout
+        return 4 * out  # timeout ~ a few RTTs
+
+    def _enqueue(self, dst: str, arrival: float) -> Tuple[bool, float]:
+        """Admit one request to ``dst``'s service queue at ``arrival``.
+
+        Returns ``(accepted, queue_wait)`` where ``queue_wait`` includes
+        the request's own service time.  The queue is a per-destination
+        ``busy_until`` horizon on the virtual clock: backlog drains by
+        the mere passage of virtual time, and depth is the backlog
+        divided by the service time.  Rejection is deterministic — no
+        RNG draw — so installing a service model never perturbs the
+        fault layer's random streams.
+        """
+        service = self.service
+        busy = max(self._busy_until.get(dst, arrival), arrival)
+        depth = round((busy - arrival) / service.service_time)
+        if depth > self.queue_peak.get(dst, -1):
+            self.queue_peak[dst] = depth
+            self.metrics.gauge("overload.queue_depth", dst=dst).set(depth)
+        if service.queue_limit is not None and depth >= service.queue_limit:
+            return (False, 0.0)
+        self._busy_until[dst] = busy + service.service_time
+        return (True, (busy - arrival) + service.service_time)
+
     def _rpc_inner(self, src: str, dst: str, kind: str, payload_size: int,
-                   span: Any) -> Tuple[bool, float]:
+                   span: Any) -> Tuple[bool, float, Optional[str]]:
         now = self.sim.now
         factor = self._latency_factor(src, dst, now)
         out = self.latency.sample(self._rng, src, dst) * factor
@@ -392,8 +485,29 @@ class SimNetwork:
             self.metrics.inc("net.rpc_failures", kind=kind, cause=cause,
                              direction="request")
             span.set_attr("failed", f"request/{cause}")
-            return (False, 4 * out)  # timeout ~ a few RTTs
+            return (False, self._timeout_cost(dst, out), cause)
         back = self.latency.sample(self._rng, dst, src) * factor
+        queue_wait = 0.0
+        if self.service is not None:
+            # the request reached dst: admission to its service queue
+            accepted, queue_wait = self._enqueue(dst, now + out)
+            if not accepted:
+                self.stats.shed += 1
+                self.metrics.inc("overload.sheds", kind=kind, dst=dst,
+                                 policy=self.service.shed_policy)
+                span.set_attr("failed", "overloaded")
+                if self.service.shed_policy == "reject":
+                    # a typed rejection rides back: two messages, one
+                    # round trip — the cheap failure shedding buys
+                    self.stats.messages += 2
+                    self.stats.bytes += payload_size + 64
+                    return (False, out + back, "overloaded")
+                # "drop": silently discarded; the caller waits out the
+                # attempt timeout, exactly like an unprotected peer
+                self.stats.messages += 1
+                self.stats.bytes += payload_size
+                self.stats.timeouts += 1
+                return (False, self._timeout_cost(dst, out), "overloaded")
         self.stats.messages += 2
         self.stats.bytes += 2 * payload_size
         response_lost = self._loss_cause(dst, src, now)
@@ -404,11 +518,26 @@ class SimNetwork:
             self.metrics.inc("net.rpc_failures", kind=kind,
                              cause=response_lost, direction="response")
             span.set_attr("failed", f"response/{response_lost}")
-            return (False, 4 * out)
+            return (False, self._timeout_cost(dst, out), response_lost)
         if self._corrupts(dst, src, now):
             self.stats.corrupted += 1
             self.metrics.inc("net.rpc_failures", kind=kind,
                              cause="corruption", direction="response")
             span.set_attr("failed", "response/corruption")
-            return (False, out + back)
-        return (True, out + back)
+            return (False, out + back + queue_wait, "corruption")
+        rtt = out + queue_wait + back
+        if self.service is not None:
+            timeout = self._timeout_cost(dst, out)
+            if rtt > timeout:
+                # the answer is coming, but later than the client waits:
+                # it reads as a timeout while dst's service time is
+                # already spent — the wasted work that feeds metastable
+                # collapse.
+                self.stats.timeouts += 1
+                self.metrics.inc("net.rpc_failures", kind=kind,
+                                 cause="slow", direction="response")
+                span.set_attr("failed", "response/slow")
+                return (False, timeout, "slow")
+            if self._adaptive is not None:
+                self._adaptive.observe(dst, rtt)
+        return (True, rtt, None)

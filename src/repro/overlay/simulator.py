@@ -137,9 +137,10 @@ class Simulator:
         return len(self._queue)
 
     def future(self, latency: float, value: Any = None,
-               ok: bool = True) -> "SimFuture":
+               ok: bool = True,
+               cause: Optional[str] = None) -> "SimFuture":
         """Issue a :class:`SimFuture` completing ``latency`` from now."""
-        return SimFuture(self, latency, value=value, ok=ok)
+        return SimFuture(self, latency, value=value, ok=ok, cause=cause)
 
 
 class SimFuture:
@@ -157,10 +158,10 @@ class SimFuture:
     """
 
     __slots__ = ("sim", "issued_at", "seq", "latency", "value", "ok",
-                 "cancelled")
+                 "cause", "cancelled")
 
     def __init__(self, sim: Simulator, latency: float, value: Any = None,
-                 ok: bool = True) -> None:
+                 ok: bool = True, cause: Optional[str] = None) -> None:
         if not math.isfinite(latency) or latency < 0:
             raise SimulationError(
                 f"future latency must be finite and >= 0 (got {latency})")
@@ -173,6 +174,10 @@ class SimFuture:
         self.value = value
         #: whether the operation succeeded (the default quorum predicate)
         self.ok = ok
+        #: failure cause tag ("overloaded", "slow", a loss cause, ...) —
+        #: ``None`` on success; set by the network so callers can treat
+        #: a shed differently from a timeout without re-deriving it.
+        self.cause = cause
         #: set by a combinator when a winner made this branch moot; the
         #: operation was still *issued* (its messages are already paid
         #: for), but nothing waits on it.

@@ -23,10 +23,12 @@ import random as _random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.exceptions import (CryptoError, IntegrityError, LookupError_,
+from repro.exceptions import (CryptoError, DeadlineExceededError,
+                              IntegrityError, LookupError_, OverloadedError,
                               QuorumWriteError, ReplicaIntegrityError,
                               StorageError)
 from repro.faults.byzantine import CorruptBlob, Equivocate, StaleServe
+from repro.faults.overload import Deadline
 from repro.overlay.simulator import SimFuture, gather, quorum_of
 from repro.storage2.config import ReplicationConfig
 from repro.storage2.record import GENESIS, StoredVersion, seal_version
@@ -114,16 +116,27 @@ class ReplicatedStore:
             self.registry.register(identity)
         return identity.signer
 
-    def _rpc(self, src: str, dst: str, kind: str) -> Tuple[bool, float]:
+    def _rpc(self, src: str, dst: str, kind: str,
+             deadline: Optional[Deadline] = None) -> Tuple[bool, float]:
         if self.ring.channel is not None:
-            return self.ring.channel.call(src, dst, kind=kind)
+            return self.ring.channel.call(src, dst, kind=kind,
+                                          deadline=deadline)
         return self.network.rpc(src, dst, kind=kind)
 
-    def _rpc_issue(self, src: str, dst: str, kind: str) -> SimFuture:
+    def _rpc_issue(self, src: str, dst: str, kind: str,
+                   deadline: Optional[Deadline] = None) -> SimFuture:
         """Issue one store RPC as a future (draws identical to _rpc)."""
         if self.ring.channel is not None:
-            return self.ring.channel.call_issue(src, dst, kind=kind)
+            return self.ring.channel.call_issue(src, dst, kind=kind,
+                                                deadline=deadline)
         return self.network.rpc_issue(src, dst, kind=kind)
+
+    def _mint_deadline(self) -> Optional[Deadline]:
+        """A per-operation deadline from the fabric's overload config."""
+        overload = getattr(self.fabric, "overload", None)
+        if overload is None:
+            return None
+        return overload.mint_deadline(self.sim.now)
 
     def _fanout_span(self, name: str, **attrs):
         """A parallel sub-span for a probe fan-out — concurrent mode only.
@@ -273,12 +286,25 @@ class ReplicatedStore:
         (read-repair).  Raises :class:`ReplicaIntegrityError` when data
         was served but nothing verified, :class:`StorageError` when the
         quorum is short.
+
+        With an overload config on the fabric the read carries a
+        deadline: probes stop being issued once the budget is spent
+        (each holder's channel call sees only the remainder), and an
+        exhausted budget that costs the quorum raises
+        :class:`DeadlineExceededError`.  A quorum missed because holders
+        *shed* the probes raises :class:`OverloadedError` — the caller
+        learns the replicas are saturated, not gone.
         """
         with self.network.tracer.span("storage2.get", key=key,
                                       reader=reader) as span:
+            deadline = self._mint_deadline()
             responses: List[Tuple[str, Optional[StoredVersion]]] = []
             rejected = 0
             probed = 0
+            sheds = 0
+            spent = 0.0
+            deadline_hit = False
+            concurrent = self.sim.concurrent
             probes: List[SimFuture] = []
             holders = self.holders_of(key)
             membership = getattr(self.fabric, "membership", None)
@@ -289,11 +315,28 @@ class ReplicatedStore:
                     node = self.ring.nodes.get(holder)
                     if node is None or key not in node.store:
                         continue  # crashed holders lost key with their state
+                    if deadline is not None \
+                            and deadline.expired(self.sim.now, spent):
+                        self.network.stats.deadline_expired += 1
+                        self.metrics.inc("overload.deadline_expired",
+                                         kind="quorum_read")
+                        deadline_hit = True
+                        break  # stop issuing probes nobody will wait for
                     if probed > 0:
                         self.network.stats.hedges += 1
                     probed += 1
-                    future = self._rpc_issue(reader, holder, "quorum_read")
+                    future = self._rpc_issue(
+                        reader, holder, "quorum_read",
+                        deadline=None if deadline is None
+                        else deadline.minus(spent))
                     probes.append(future)
+                    # Deadline accounting matches the latency model: the
+                    # serial clock pays probes back to back, the
+                    # concurrent clock overlaps them.
+                    spent = max(spent, future.latency) if concurrent \
+                        else spent + future.latency
+                    if future.cause == "overloaded":
+                        sheds += 1
                     if not future.ok:
                         continue
                     try:
@@ -312,8 +355,19 @@ class ReplicatedStore:
                 fanout_result = quorum_of(self.config.r, probes)
                 if fanout is not None:
                     fanout.settle_cost(fanout_result.elapsed)
-            return self._settle(reader, key, responses, rejected, span,
-                                elapsed=fanout_result.elapsed)
+            try:
+                return self._settle(reader, key, responses, rejected, span,
+                                    elapsed=fanout_result.elapsed)
+            except StorageError as exc:
+                if deadline_hit:
+                    raise DeadlineExceededError(
+                        f"quorum read of {key!r} ran out of budget after "
+                        f"{probed} probes") from exc
+                if sheds:
+                    raise OverloadedError(
+                        f"quorum for {key!r} not met: {sheds} of {probed} "
+                        "probes were shed by overloaded holders") from exc
+                raise
 
     def _settle(self, reader: str, key: str,
                 responses: List[Tuple[str, Optional[StoredVersion]]],
@@ -422,12 +476,27 @@ class ReplicatedStore:
             key_probes: Dict[str, List[SimFuture]] = {k: [] for k in ordered}
             key_verified: Dict[str, set] = {k: set() for k in ordered}
             reachable = 0
+            deadline = self._mint_deadline()
+            spent = 0.0
+            deadline_hit = False
+            concurrent = self.sim.concurrent
             batch_probes: List[SimFuture] = []
             with self._fanout_span("storage2.get_many.fanout",
                                    holders=len(want)) as fanout:
                 for holder, holder_keys in want.items():
-                    future = self._rpc_issue(reader, holder,
-                                             "quorum_read_batch")
+                    if deadline is not None \
+                            and deadline.expired(self.sim.now, spent):
+                        self.network.stats.deadline_expired += 1
+                        self.metrics.inc("overload.deadline_expired",
+                                         kind="quorum_read_batch")
+                        deadline_hit = True
+                        break  # unprobed holders' keys settle short
+                    future = self._rpc_issue(
+                        reader, holder, "quorum_read_batch",
+                        deadline=None if deadline is None
+                        else deadline.minus(spent))
+                    spent = max(spent, future.latency) if concurrent \
+                        else spent + future.latency
                     batch_probes.append(future)
                     for key in holder_keys:
                         key_probes[key].append(future)
@@ -465,6 +534,15 @@ class ReplicatedStore:
                                                 elapsed=per_key.elapsed)
                     settled += 1
                 except (StorageError, ReplicaIntegrityError) as exc:
+                    if isinstance(exc, StorageError):
+                        if deadline_hit:
+                            exc = DeadlineExceededError(
+                                f"batch read of {key!r} ran out of budget")
+                        elif any(f.cause == "overloaded"
+                                 for f in key_probes[key]):
+                            exc = OverloadedError(
+                                f"quorum for {key!r} not met: probes were "
+                                "shed by overloaded holders")
                     results[key] = exc
             span.set_attr("served", settled)
         return results
