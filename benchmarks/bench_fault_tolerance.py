@@ -126,6 +126,8 @@ def _chord_cell(burst_rate: float, partitioned: bool, policy: str):
         "failures": summary["failures"],
         "shed": summary["shed"],
         "deadline_expired": summary["deadline_expired"],
+        "misrouted": summary["misrouted"],
+        "forged_routes": summary["forged_routes"],
     }
 
 
@@ -178,21 +180,24 @@ def test_fault_intensity_vs_policy(benchmark):
         (label, policy, cell["retries"], cell["breaker_trips"],
          cell["fastfails"], cell["hedges"], cell["fault_drops"],
          cell["timeouts"], cell["corrupted"], cell["shed"],
-         cell["deadline_expired"])
+         cell["deadline_expired"], cell["misrouted"],
+         cell["forged_routes"])
         for (label, policy), cell in cells.items() if policy != "bare"]
     report_table(
         "E12b_resilience_counters",
         "E12b — what the resilience layer did (per cell)",
         ["Faults", "Policy", "Retries", "Breaker trips", "Fast-fails",
          "Hedged reads", "Fault drops", "Timeouts", "Corrupted", "Shed",
-         "DeadlineExpired"],
+         "DeadlineExpired", "Misrouted", "ForgedRoutes"],
         counter_rows,
         note=("Breaker fast-fails replace repeated timeouts against dead "
               "destinations; hedged reads are what keeps partitioned "
               "content reachable via replicas.  Corrupted counts garbled "
               "responses (zero here: this plan injects no corruption), "
-              "and Shed / DeadlineExpired count overload rejections and "
+              "Shed / DeadlineExpired count overload rejections and "
               "expired op budgets (zero here: no OverloadConfig is "
+              "installed), and Misrouted / ForgedRoutes count adversarial "
+              "routing events (zero here: no AdversaryConfig is "
               "installed) so every failure cause in "
               "NetworkStats.summary() is accounted."))
 

@@ -1,0 +1,38 @@
+"""Routing-layer adversary model and secure-lookup defenses (Section VI).
+
+The paper's security analysis assumes overlay participants can be
+malicious; this package reproduces what a compromised *routing* peer can
+do — misroute, eclipse, drop, present chosen node IDs — and the classic
+defense stack: certified node IDs (``id = H(pubkey)``), redundant
+disjoint-path lookups with majority voting, and quarantine of
+provably-lying peers.
+
+Install via ``Fabric.create(seed, adversary=AdversaryConfig(...))`` or
+``DosnConfig(adversary=...)``; ``adversary=None`` keeps every legacy
+code path and RNG stream byte-identical (and even an installed adversary
+draws nothing: all decisions are hash-derived).  Experiment E19
+(``benchmarks/bench_adversary.py``) sweeps the compromised fraction and
+measures bare vs. defended lookup correctness; see ``docs/adversary.md``
+for the threat-model table.
+"""
+
+from repro.adversary.config import (BEHAVIORS, AdversaryConfig,
+                                    DefenseConfig)
+from repro.adversary.defense import (Quarantine, defended_chord_lookup,
+                                     defended_kad_lookup)
+from repro.adversary.model import AdversaryModel, ChordAnswer, KadAnswer
+from repro.adversary.walks import random_walk_landings, region_mass
+
+__all__ = [
+    "BEHAVIORS",
+    "AdversaryConfig",
+    "DefenseConfig",
+    "AdversaryModel",
+    "ChordAnswer",
+    "KadAnswer",
+    "Quarantine",
+    "defended_chord_lookup",
+    "defended_kad_lookup",
+    "random_walk_landings",
+    "region_mass",
+]

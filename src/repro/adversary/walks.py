@@ -1,0 +1,49 @@
+"""Random-walk sampling over a social graph (shared walk engine).
+
+Extracted from ``extensions/sybil.py::degree_cut_detection`` so the walk
+core lives with the adversary subsystem: the SybilGuard-family intuition
+(short random walks from an honest verifier rarely cross a thin
+attack-edge cut) is the *trust-graph* face of the same adversary whose
+*routing* face lives in :mod:`repro.adversary.model`.
+
+Draw-order contract: :func:`random_walk_landings` consumes exactly one
+``rng.choice`` per step per walk, in walk-major order — identical to the
+pre-extraction loop, so E9's committed tables regenerate byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Dict, Iterable, Mapping
+
+__all__ = ["random_walk_landings", "region_mass"]
+
+
+def random_walk_landings(graph, origin: str, total_walks: int,
+                         walk_length: int,
+                         rng: _random.Random) -> Dict[str, int]:
+    """Endpoint tally of ``total_walks`` walks of ``walk_length`` steps.
+
+    ``graph`` is anything with ``.nodes`` and ``.neighbors(node)`` (a
+    ``networkx.Graph`` in practice; duck-typed so this module needs no
+    graph-library import).  A walk stranded on an isolated node ends
+    early and lands where it stopped.
+    """
+    landings = {node: 0 for node in graph.nodes}
+    for _ in range(total_walks):
+        node = origin
+        for _ in range(walk_length):
+            neighbors = list(graph.neighbors(node))
+            if not neighbors:
+                break
+            node = rng.choice(neighbors)
+        landings[node] += 1
+    return landings
+
+
+def region_mass(landings: Mapping[str, int], region: Iterable[str],
+                total_walks: int) -> float:
+    """Fraction of walk endpoints inside ``region``."""
+    region_set = set(region)
+    return sum(count for node, count in landings.items()
+               if node in region_set) / total_walks

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from repro.adversary.config import AdversaryConfig
 from repro.cache import CacheConfig, SocialPrefetcher, VerifiedContentCache
 from repro.dosn.feed import FeedReport, assemble_feed
 from repro.dosn.provider import CentralProvider, ExposureReport
@@ -155,6 +156,14 @@ class DosnConfig:
     #: fair-weather fabric — no service state, no new RNG draws, every
     #: committed table byte-identical.
     overload: Optional[OverloadConfig] = None
+    #: routing-layer adversary (:mod:`repro.adversary`): a hash-selected
+    #: fraction of overlay peers misroute / eclipse / drop lookups, and
+    #: an :attr:`~repro.adversary.AdversaryConfig.defense` switches the
+    #: ring to certified node IDs + disjoint-path voting + quarantine.
+    #: ``None`` (the default) keeps lookups trusting and every committed
+    #: table byte-identical — and even an installed adversary draws no
+    #: RNG (all its decisions are hash-derived).
+    adversary: Optional[AdversaryConfig] = None
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -165,6 +174,10 @@ class DosnConfig:
             raise OverlayError(
                 "membership requires the dht architecture (the detector "
                 "rides on overlay peers)")
+        if self.adversary is not None and self.architecture != "dht":
+            raise OverlayError(
+                "adversary requires the dht architecture (the attacks "
+                "target overlay routing)")
 
     def with_overrides(self, **changes) -> "DosnConfig":
         """A copy with some fields replaced (sweep helper)."""
@@ -202,7 +215,8 @@ class DosnNetwork:
                 wall_clock=config.wall_clock,
                 resilient=config.resilient,
                 concurrent=config.concurrent,
-                overload=config.overload)
+                overload=config.overload,
+                adversary=config.adversary)
         self.fabric = fabric
         self.sim = fabric.sim
         self.network = fabric.network

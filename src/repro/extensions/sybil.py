@@ -14,7 +14,9 @@ Implemented:
   rank in an honest user's friend search;
 * :func:`degree_cut_detection` — the classic structural defence intuition
   (SybilGuard family): random walks starting at honest nodes rarely cross
-  the thin attack-edge cut, so sybils get low acceptance rates.
+  the thin attack-edge cut, so sybils get low acceptance rates.  The walk
+  engine itself lives in :mod:`repro.adversary.walks` (shared with the
+  routing-adversary subsystem); this module keeps the E9-facing metric.
 
 Experiment E9 shows the paper's implied point: popularity-style signals are
 forgeable by sybils, trust chains bound the damage by the attack-edge cut,
@@ -29,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.adversary.walks import random_walk_landings, region_mass
 from repro.exceptions import ReproError
 from repro.search.trust import best_trust_chain, rank_results
 
@@ -111,18 +114,11 @@ def degree_cut_detection(graph: nx.Graph, sybils: Sequence[str],
     if not honest:
         raise ReproError("no honest nodes")
     verifier = honest[0]
-    landings = {node: 0 for node in graph.nodes}
     total_walks = walks_per_node * len(honest[:20])
-    for _ in range(total_walks):
-        node = verifier
-        for _ in range(walk_length):
-            neighbors = list(graph.neighbors(node))
-            if not neighbors:
-                break
-            node = rng.choice(neighbors)
-        landings[node] += 1
+    landings = random_walk_landings(graph, verifier, total_walks,
+                                    walk_length, rng)
     # Region-level acceptance: probability mass landing in each region.
-    sybil_mass = sum(landings[n] for n in sybil_set) / total_walks
+    sybil_mass = region_mass(landings, sybil_set, total_walks)
     honest_mass = 1.0 - sybil_mass
     return {
         "sybil_region_mass": sybil_mass,

@@ -69,6 +69,10 @@ class Fabric:
         #: the attached :class:`repro.membership.SwimMembership` (None
         #: keeps every layer on the legacy oracle path, byte-identical)
         self.membership: Optional[Any] = None
+        #: the attached :class:`repro.adversary.AdversaryModel` (None
+        #: keeps lookups trusting and byte-identical; even attached, the
+        #: adversary draws no RNG — its decisions are hash-derived)
+        self.adversary: Optional[Any] = None
         #: the overload-protection config (None = fair-weather fabric,
         #: byte-identical).  Overlays and stores read
         #: :meth:`OverloadConfig.mint_deadline` from here to start a
@@ -88,7 +92,8 @@ class Fabric:
                retry: Optional[RetryPolicy] = None,
                breaker: Optional[CircuitBreaker] = None,
                concurrent: bool = False,
-               overload: Optional[OverloadConfig] = None) -> "Fabric":
+               overload: Optional[OverloadConfig] = None,
+               adversary: Optional[Any] = None) -> "Fabric":
         """Build a full fabric from a seed.
 
         ``tracing=True`` installs a real :class:`~repro.obs.trace.Tracer`
@@ -104,6 +109,11 @@ class Fabric:
         deadline minting for lookups and quorum reads, a shared retry
         budget on the channel, adaptive attempt timeouts); ``None``
         keeps the fair-weather fabric byte-identical.
+        ``adversary=AdversaryConfig(...)`` attaches an
+        :class:`~repro.adversary.AdversaryModel` (routing-layer attacks
+        and, with a ``defense``, the secure-lookup stack); ``None`` — or
+        even an attached adversary, which draws nothing — leaves every
+        RNG stream untouched.
         """
         sim = Simulator(seed, concurrent=concurrent)
         tracer = Tracer(lambda: sim.now, wall_clock=wall_clock) if tracing \
@@ -114,8 +124,12 @@ class Fabric:
         channel = None
         if resilient or retry is not None or breaker is not None:
             channel = ReliableChannel(network, retry, breaker)
-        return cls(sim, network, channel=channel, tracer=tracer,
-                   metrics=metrics, overload=overload)
+        fabric = cls(sim, network, channel=channel, tracer=tracer,
+                     metrics=metrics, overload=overload)
+        if adversary is not None:
+            from repro.adversary import AdversaryModel
+            AdversaryModel(fabric, adversary)  # attaches itself
+        return fabric
 
     def attach_membership(self, membership: Any) -> None:
         """Install a membership service as the fabric's liveness source.
@@ -130,6 +144,13 @@ class Fabric:
         self.membership = membership
         if self.channel is not None:
             self.channel.membership = membership
+
+    def attach_adversary(self, adversary: Any) -> None:
+        """Install an adversary model (called by its constructor)."""
+        if self.adversary is not None:
+            raise SimulationError(
+                "an adversary model is already attached to this fabric")
+        self.adversary = adversary
 
     @property
     def rng(self) -> _random.Random:

@@ -138,6 +138,16 @@ class CircuitBreaker:
             return True
         return False
 
+    def quarantine(self, dst: str, now: float) -> None:
+        """Force the breaker open for ``dst`` (adversary quarantine).
+
+        Uses the same machinery as a trip, so the destination stays
+        recoverable: after the cooldown a single half-open probe is
+        admitted and a success closes the breaker again.
+        """
+        self._opened_at[dst] = now
+        self._failures.pop(dst, None)
+
     def state(self, dst: str, now: float) -> str:
         """``closed`` / ``open`` / ``half_open`` for ``dst`` at ``now``."""
         opened = self._opened_at.get(dst)

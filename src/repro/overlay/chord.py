@@ -57,12 +57,18 @@ def in_interval(x: int, a: int, b: int, inclusive_right: bool = False) -> int:
 
 @dataclass
 class LookupResult:
-    """Outcome of one iterative lookup."""
+    """Outcome of one iterative lookup.
+
+    ``resolver`` is the node whose answer named the owner — the peer a
+    defended lookup holds accountable when the claim loses a
+    disjoint-path vote (``None`` for direct replica reads).
+    """
 
     owner: str
     hops: int
     rtt: float
     failed_probes: int
+    resolver: Optional[str] = None
 
 
 class ChordNode(SimNode):
@@ -167,6 +173,8 @@ class ChordRing:
                 f"chord id collision for {name!r}; rename the node")
         self.nodes[name] = node
         self.network.register(node)
+        if self.fabric.adversary is not None:
+            self.fabric.adversary.enroll(name, "chord")
         return node
 
     def build(self) -> None:
@@ -208,7 +216,10 @@ class ChordRing:
         return ordered[self._successor_index(ids, chord_id(key))].node_id
 
     def lookup(self, start: str, key: str, max_hops: int = 64,
-               deadline: Optional[Deadline] = None) -> LookupResult:
+               deadline: Optional[Deadline] = None,
+               distrust: Optional[frozenset] = None,
+               visited: Optional[Set[str]] = None,
+               _single_path: bool = False) -> LookupResult:
         """Iterative Chord lookup from ``start`` for ``key``.
 
         Each routing step is one accounted RPC; offline peers cost a
@@ -232,7 +243,28 @@ class ChordRing:
         :class:`~repro.exceptions.DeadlineExceededError` *before* the
         next RPC is issued — and each hop's channel call sees only the
         remaining budget (``deadline.minus(rtt)``).
+
+        Adversary semantics (only with ``fabric.adversary`` installed):
+        answers consumed from a compromised responder may be forged —
+        a bare client *trusts* routing responses, so a forged owner
+        claim is accepted as final (the vulnerability E19 measures).
+        With a :class:`~repro.adversary.config.DefenseConfig` the public
+        entry point delegates to :func:`~repro.adversary.defense
+        .defended_chord_lookup`, which re-enters here per disjoint path
+        (``_single_path=True``); ``distrust`` then excludes earlier
+        paths' responders (and quarantined peers) from *route
+        selection* — never from being resolved to as the owner — and
+        ``visited`` collects this path's responders for the caller's
+        disjointness bookkeeping.
         """
+        adv = self.fabric.adversary
+        if adv is not None and adv.config.defense is not None \
+                and not _single_path:
+            from repro.adversary.defense import defended_chord_lookup
+            return defended_chord_lookup(self, start, key,
+                                         max_hops=max_hops,
+                                         deadline=deadline)
+        defense = adv.config.defense if adv is not None else None
         key_id = chord_id(key)
         current = self.nodes.get(start)
         if current is None or not current.online:
@@ -262,14 +294,93 @@ class ChordRing:
                         f"{hops} hops ({rtt:.3f}s spent)")
                 hop_deadline = None if deadline is None \
                     else deadline.minus(rtt)
+                if visited is not None and current.node_id != start:
+                    visited.add(current.node_id)
+                answer = None
+                if adv is not None and current.node_id != start:
+                    answer = adv.chord_answer(current.node_id, key)
+                if answer is not None:
+                    if answer.drop:
+                        raise LookupError_(
+                            f"{current.node_id!r} swallowed the lookup "
+                            f"for {key!r} (adversarial drop)")
+                    claimed_name, claimed_id = \
+                        answer.final if answer.final is not None \
+                        else answer.next_hop
+                    if defense is not None and defense.certified_ids \
+                            and not adv.check_claim("chord", claimed_name,
+                                                    claimed_id):
+                        adv.flag_cert_liar(current.node_id,
+                                           overlay="chord")
+                        raise LookupError_(
+                            f"{current.node_id!r} presented a provably "
+                            f"forged node-id claim for {claimed_name!r}")
+                    kind = "chord_final" if answer.final is not None \
+                        else "chord_step"
+                    ok, t = self._rpc(current.node_id, claimed_name,
+                                      kind=kind, deadline=hop_deadline)
+                    rtt += t
+                    hops += 1
+                    if not ok:
+                        failed += 1
+                        if avoid is not None:
+                            avoid.add(claimed_name)
+                        raise LookupError_(
+                            f"forged route target {claimed_name!r} for "
+                            f"{key!r} is unreachable")
+                    if answer.final is not None:
+                        # a bare client trusts the final claim as-is
+                        span.set_attr("hops", hops)
+                        span.set_attr("failed_probes", failed)
+                        span.set_attr("owner", claimed_name)
+                        return LookupResult(owner=claimed_name, hops=hops,
+                                            rtt=rtt, failed_probes=failed,
+                                            resolver=current.node_id)
+                    current = self.nodes[claimed_name]
+                    continue
                 successor = current.first_live_successor(self, avoid)
                 if successor is None:
                     raise LookupError_(
                         f"{current.node_id!r} has no live successor "
                         "(ring partitioned)")
-                succ_node = self.nodes[successor]
-                if in_interval(key_id, current.chord_id, succ_node.chord_id,
-                               inclusive_right=True):
+                final_name: Optional[str] = None
+                if defense is None:
+                    succ_node = self.nodes[successor]
+                    if in_interval(key_id, current.chord_id,
+                                   succ_node.chord_id,
+                                   inclusive_right=True):
+                        final_name = successor
+                else:
+                    # Redundant successor verification: scan the whole
+                    # successor list, so any of the last
+                    # ``successor_list_size`` predecessors can name the
+                    # owner — a single compromised immediate predecessor
+                    # is then not a routing choke point for the
+                    # disjoint-path retries.
+                    for succ in current.successors:
+                        if avoid is not None and succ in avoid:
+                            continue
+                        snode = self.nodes.get(succ)
+                        if snode is None or not snode.online:
+                            continue
+                        if in_interval(key_id, current.chord_id,
+                                       snode.chord_id,
+                                       inclusive_right=True):
+                            final_name = succ
+                            break
+                if final_name is not None:
+                    successor = final_name
+                    if defense is not None and defense.certified_ids \
+                            and not adv.check_claim(
+                                "chord", successor,
+                                adv.certified_id("chord", successor)):
+                        # cannot happen for an honest successor; the
+                        # check still runs real certificate verification
+                        # on every routing response (cached per name)
+                        adv.flag_cert_liar(current.node_id,
+                                           overlay="chord")
+                        raise LookupError_(
+                            f"uncertifiable owner claim {successor!r}")
                     ok, t = self._rpc(current.node_id, successor,
                                       kind="chord_final",
                                       deadline=hop_deadline)
@@ -280,12 +391,18 @@ class ChordRing:
                         span.set_attr("failed_probes", failed)
                         span.set_attr("owner", successor)
                         return LookupResult(owner=successor, hops=hops,
-                                            rtt=rtt, failed_probes=failed)
+                                            rtt=rtt, failed_probes=failed,
+                                            resolver=current.node_id)
                     failed += 1
                     if avoid is not None:
                         avoid.add(successor)
                     continue  # successor died mid-lookup; list advances
-                next_hop = current.closest_preceding(key_id, self, avoid)
+                route_avoid = avoid
+                if distrust:
+                    route_avoid = set(distrust) if avoid is None \
+                        else (avoid | distrust)
+                next_hop = current.closest_preceding(key_id, self,
+                                                     route_avoid)
                 if next_hop is None:
                     next_hop = successor
                 ok, t = self._rpc(current.node_id, next_hop,

@@ -128,6 +128,8 @@ class KademliaOverlay:
         node = KademliaNode(name, k=self.k)
         self.nodes[name] = node
         self.network.register(node)
+        if self.fabric.adversary is not None:
+            self.fabric.adversary.enroll(name, "kad")
         return node
 
     def bootstrap(self) -> None:
@@ -144,7 +146,10 @@ class KademliaOverlay:
     # -- iterative lookup ---------------------------------------------------------
 
     def lookup(self, start: str, key: str, find_value: bool = False,
-               deadline: Optional[Deadline] = None) -> KadLookupResult:
+               deadline: Optional[Deadline] = None,
+               distrust: Optional[frozenset] = None,
+               visited: Optional[Set[str]] = None,
+               _single_path: bool = False) -> KadLookupResult:
         """Iterative FIND_NODE / FIND_VALUE from ``start`` toward ``key``.
 
         ``alpha`` concurrent queries per round (charged as RPCs); terminates
@@ -162,7 +167,22 @@ class KademliaOverlay:
         config when not supplied) is checked before every FIND RPC and
         decremented by the time already spent; exhaustion raises
         :class:`~repro.exceptions.DeadlineExceededError`.
+
+        Adversary semantics mirror the Chord lookup's: compromised
+        responders may withhold answers or return forged closest-node
+        sets, and with a defense configured the public entry point
+        delegates to :func:`~repro.adversary.defense
+        .defended_kad_lookup` (``distrust`` / ``visited`` /
+        ``_single_path`` are its per-path re-entry surface).
         """
+        adv = self.fabric.adversary
+        if adv is not None and adv.config.defense is not None \
+                and not _single_path:
+            from repro.adversary.defense import defended_kad_lookup
+            return defended_kad_lookup(self, start, key,
+                                       find_value=find_value,
+                                       deadline=deadline)
+        defense = adv.config.defense if adv is not None else None
         target_id = kad_id(key)
         origin = self.nodes.get(start)
         if origin is None or not origin.online:
@@ -175,21 +195,35 @@ class KademliaOverlay:
         view = None
         if self.fabric.membership is not None:
             view = self.fabric.membership.view_of(start)
+        #: self-reported ids a bare client has no way to verify — real
+        #: Kademlia nodes learn peer ids from routing responses, so a
+        #: forged (chosen) id ranks wherever the forger placed it.  With
+        #: certification the forged answers never get this far, and an
+        #: honest claim's certified id equals the true position, so the
+        #: map stays empty (and with no adversary it always is —
+        #: ``eff_id`` then reduces to ``kad_id``, byte-identical).
+        claimed_ids: Dict[str, int] = {}
+
+        def eff_id(name: str) -> int:
+            return claimed_ids.get(name) if name in claimed_ids \
+                else kad_id(name)
+
         with self.network.tracer.span("kad.lookup", key=key,
                                       start=start) as span:
             queried: Set[str] = set()
             hops = 0
             rpcs = 0
             spent = 0.0
-            best = min(xor_distance(kad_id(n), target_id) for n in shortlist)
+            best = min(xor_distance(eff_id(n), target_id) for n in shortlist)
             while True:
                 # Peers the start's membership view has confirmed dead
                 # are skipped without paying for the probe; XOR distance
                 # still decides the order among the believed-alive.
                 candidates = [n for n in shortlist if n not in queried
-                              and (view is None or not view.is_dead(n))]
+                              and (view is None or not view.is_dead(n))
+                              and (not distrust or n not in distrust)]
                 candidates.sort(
-                    key=lambda n: xor_distance(kad_id(n), target_id))
+                    key=lambda n: xor_distance(eff_id(n), target_id))
                 batch = candidates[:self.alpha]
                 if not batch:
                     break
@@ -210,6 +244,8 @@ class KademliaOverlay:
                                 f"kad lookup for {key!r} ran out of budget "
                                 f"after {rpcs} RPCs ({spent:.3f}s spent)")
                         queried.add(peer_name)
+                        if visited is not None:
+                            visited.add(peer_name)
                         ok, t = self._rpc(
                             start, peer_name, kind="kad_find",
                             deadline=None if deadline is None
@@ -218,8 +254,14 @@ class KademliaOverlay:
                         rpcs += 1
                         if not ok:
                             continue
+                        answer = None
+                        if adv is not None and peer_name != start:
+                            answer = adv.kad_answer(peer_name, key)
+                        if answer is not None and answer.drop:
+                            continue  # response withheld (transport paid)
                         peer = self.nodes[peer_name]
-                        if find_value and key in peer.store:
+                        if find_value and key in peer.store \
+                                and answer is None:
                             span.set_attr("rounds", hops)
                             span.set_attr("rpcs", rpcs)
                             span.set_attr("hit", True)
@@ -227,20 +269,36 @@ class KademliaOverlay:
                                 closest=sorted(
                                     shortlist,
                                     key=lambda n: xor_distance(
-                                        kad_id(n), target_id))[:self.k],
+                                        eff_id(n), target_id))[:self.k],
                                 hops=hops, rpcs=rpcs,
                                 value=peer.store[key])
-                        for learned in peer.closest_known(target_id,
-                                                          self.k):
+                        if answer is not None:
+                            if defense is not None \
+                                    and defense.certified_ids \
+                                    and any(not adv.check_claim("kad", n,
+                                                                cid)
+                                            for n, cid in answer.claims):
+                                adv.flag_cert_liar(peer_name,
+                                                   overlay="kad")
+                                continue  # discard the forged answer
+                            learned_names = []
+                            for n, cid in answer.claims:
+                                learned_names.append(n)
+                                if cid != kad_id(n):
+                                    claimed_ids[n] = cid
+                        else:
+                            learned_names = peer.closest_known(target_id,
+                                                               self.k)
+                        for learned in learned_names:
                             if learned not in shortlist:
                                 shortlist.append(learned)
-                                d = xor_distance(kad_id(learned),
+                                d = xor_distance(eff_id(learned),
                                                  target_id)
                                 if d < best:
                                     best = d
                                     improved = True
                 shortlist.sort(
-                    key=lambda n: xor_distance(kad_id(n), target_id))
+                    key=lambda n: xor_distance(eff_id(n), target_id))
                 shortlist = shortlist[:self.k * 2]
                 if not improved and all(n in queried
                                         for n in shortlist[:self.k]):

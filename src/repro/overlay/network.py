@@ -71,7 +71,11 @@ class NetworkStats:
     abandoned because their propagated deadline ran out,
     ``budget_exhausted``: retries denied by the channel's token bucket)
     stay zero unless an :class:`repro.faults.OverloadConfig` is
-    installed — E18 reads them.
+    installed — E18 reads them.  The adversary counters (``misrouted``:
+    lookups handed to an accomplice next hop, ``forged_routes``: forged
+    owner claims / closest-node sets) stay zero unless an
+    :class:`repro.adversary.AdversaryConfig` is installed — E19 reads
+    them, and E12b's table proves they stay zero on the legacy path.
 
     Superseded by the dimensional :class:`repro.obs.MetricsRegistry` on
     :attr:`SimNetwork.metrics` (per-kind, per-cause, per-direction
@@ -94,6 +98,8 @@ class NetworkStats:
     shed: int = 0
     deadline_expired: int = 0
     budget_exhausted: int = 0
+    misrouted: int = 0
+    forged_routes: int = 0
     by_kind: Counter = field(default_factory=Counter)
 
     def reset(self) -> None:
@@ -111,6 +117,8 @@ class NetworkStats:
         self.shed = 0
         self.deadline_expired = 0
         self.budget_exhausted = 0
+        self.misrouted = 0
+        self.forged_routes = 0
         self.by_kind.clear()
 
     def summary(self) -> Dict[str, int]:
@@ -138,6 +146,8 @@ class NetworkStats:
             "shed": self.shed,
             "deadline_expired": self.deadline_expired,
             "budget_exhausted": self.budget_exhausted,
+            "misrouted": self.misrouted,
+            "forged_routes": self.forged_routes,
         }
 
 

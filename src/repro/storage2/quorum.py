@@ -310,6 +310,11 @@ class ReplicatedStore:
             membership = getattr(self.fabric, "membership", None)
             if membership is not None:
                 holders = membership.order_by_health(reader, holders)
+            adversary = getattr(self.fabric, "adversary", None)
+            if adversary is not None and adversary.quarantine is not None:
+                # Quarantined holders are probed last: an honest replica
+                # set satisfies R before a known liar is ever consulted.
+                holders = adversary.quarantine.order_last(holders)
             with self._fanout_span("storage2.get.fanout", key=key) as fanout:
                 for holder in holders:
                     node = self.ring.nodes.get(holder)
@@ -455,11 +460,14 @@ class ReplicatedStore:
                 results[key] = None  # placeholder; settled below
                 ordered.append(key)
         membership = getattr(self.fabric, "membership", None)
+        adversary = getattr(self.fabric, "adversary", None)
         want: Dict[str, List[str]] = {}   # holder -> keys it should serve
         for key in ordered:
             holders = self.holders_of(key)
             if membership is not None:
                 holders = membership.order_by_health(reader, holders)
+            if adversary is not None and adversary.quarantine is not None:
+                holders = adversary.quarantine.order_last(holders)
             for holder in holders:
                 node = self.ring.nodes.get(holder)
                 if node is None or key not in node.store:

@@ -1,0 +1,137 @@
+"""The adversary-off gate: an absent (or idle) adversary must be free.
+
+Acceptance for the adversary subsystem: ``adversary=None`` — and even an
+*installed* adversary, whose decisions are hash-derived — leaves every
+legacy RNG stream untouched, so the committed E12/E13/E17 tables
+regenerate byte-identically.  These tests prove the property at the
+stream level with a recording-RNG wrapper (the same instrument
+``tests/overlay/test_overload_properties.py`` uses) rather than trusting
+the table diff alone.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import AdversaryConfig
+from repro.exceptions import LookupError_, StorageError
+from repro.fabric import Fabric
+from repro.overlay.chord import ChordRing
+from repro.overlay.kademlia import KademliaOverlay
+
+N = 16
+KEYS = 6
+LOOKUPS = 12
+SEED = 71
+
+
+class _RecordingRng:
+    """Wraps an RNG, logging every draw so two streams can be compared."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.draws = []
+
+    def random(self):
+        value = self._inner.random()
+        self.draws.append(round(value, 12))
+        return value
+
+    def uniform(self, low, high):
+        value = self._inner.uniform(low, high)
+        self.draws.append(round(value, 12))
+        return value
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _record(fab):
+    recorders = []
+    net_rng = _RecordingRng(fab.network._rng)
+    fab.network._rng = net_rng
+    recorders.append(net_rng)
+    if fab.channel is not None:
+        chan_rng = _RecordingRng(fab.channel._rng)
+        fab.channel._rng = chan_rng
+        recorders.append(chan_rng)
+    return recorders
+
+
+def _chord_workload(adversary):
+    fab = Fabric.create(seed=SEED, adversary=adversary)
+    recorders = _record(fab)
+    ring = ChordRing(fab, replication=2)
+    for i in range(N):
+        ring.add_node(f"p{i}")
+    ring.build()
+    for i in range(KEYS):
+        try:
+            ring.put(f"p{(3 * i + 1) % N}", f"key{i}", b"blob")
+        except (LookupError_, StorageError):
+            pass  # a compromised router can kill a bare put, too
+    for j in range(LOOKUPS):
+        try:
+            ring.get(f"p{(2 * j + 1) % N}", f"key{j % KEYS}")
+        except (LookupError_, StorageError):
+            pass  # adversarial drops/misroutes may fail a bare lookup
+    return ([list(r.draws) for r in recorders],
+            repr(fab.network.stats.summary()))
+
+
+def _kad_workload(adversary):
+    fab = Fabric.create(seed=SEED, adversary=adversary)
+    recorders = _record(fab)
+    overlay = KademliaOverlay(fab)
+    for i in range(N):
+        overlay.add_node(f"p{i}")
+    overlay.bootstrap()
+    for i in range(KEYS):
+        try:
+            overlay.put(f"p{(3 * i + 1) % N}", f"key{i}", b"blob")
+        except (LookupError_, StorageError):
+            pass  # a compromised router can kill a bare put, too
+    for j in range(LOOKUPS):
+        try:
+            overlay.get(f"p{(2 * j + 1) % N}", f"key{j % KEYS}")
+        except (LookupError_, StorageError):
+            pass  # adversarial drops/misroutes may fail a bare lookup
+    return ([list(r.draws) for r in recorders],
+            repr(fab.network.stats.summary()))
+
+
+class TestIdleAdversaryIsFree:
+    """An installed adversary that compromises nobody draws nothing."""
+
+    def test_chord_streams_identical(self):
+        base_draws, base_summary = _chord_workload(None)
+        idle_draws, idle_summary = _chord_workload(
+            AdversaryConfig(fraction=0.0, defense=None))
+        assert idle_draws == base_draws
+        assert idle_summary == base_summary
+
+    def test_kademlia_streams_identical(self):
+        base_draws, base_summary = _kad_workload(None)
+        idle_draws, idle_summary = _kad_workload(
+            AdversaryConfig(fraction=0.0, defense=None))
+        assert idle_draws == base_draws
+        assert idle_summary == base_summary
+
+
+class TestTwoRunByteIdentity:
+    """E12/E17-style summaries are repr-identical run to run."""
+
+    def test_adversary_none_twice(self):
+        first = _chord_workload(None)
+        second = _chord_workload(None)
+        assert first == second
+
+    def test_active_adversary_twice(self):
+        config = AdversaryConfig(fraction=0.25, defense=None)
+        first = _chord_workload(config)
+        second = _chord_workload(config)
+        assert first == second
+
+    def test_active_kad_adversary_twice(self):
+        config = AdversaryConfig(fraction=0.25, defense=None)
+        first = _kad_workload(config)
+        second = _kad_workload(config)
+        assert first == second
